@@ -1,0 +1,108 @@
+//! 1-D 2-means clustering over label scores (Algorithm 2 lines 26–28).
+//!
+//! When the attacker does not know how many labels the victim holds
+//! (the random-label setting of Figure 5), it clusters the per-label
+//! scores into two groups and returns the labels of the higher-centroid
+//! cluster.
+
+/// Returns the indices (labels) belonging to the higher-mean cluster of a
+/// 2-means over the scores. Ties and degenerate inputs fall back to the
+/// single top score.
+pub fn top_cluster_labels(scores: &[f64]) -> Vec<usize> {
+    assert!(!scores.is_empty());
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+    if !(max - min).is_normal() {
+        // All scores (near-)equal: no cluster structure; return the argmax.
+        let arg = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        return vec![arg];
+    }
+    let mut c_lo = min;
+    let mut c_hi = max;
+    let mut assign = vec![false; scores.len()]; // true = high cluster
+    for _ in 0..100 {
+        let mut changed = false;
+        for (i, &s) in scores.iter().enumerate() {
+            let hi = (s - c_hi).abs() <= (s - c_lo).abs();
+            if hi != assign[i] {
+                assign[i] = hi;
+                changed = true;
+            }
+        }
+        let (mut sum_hi, mut n_hi, mut sum_lo, mut n_lo) = (0.0, 0usize, 0.0, 0usize);
+        for (i, &s) in scores.iter().enumerate() {
+            if assign[i] {
+                sum_hi += s;
+                n_hi += 1;
+            } else {
+                sum_lo += s;
+                n_lo += 1;
+            }
+        }
+        if n_hi > 0 {
+            c_hi = sum_hi / n_hi as f64;
+        }
+        if n_lo > 0 {
+            c_lo = sum_lo / n_lo as f64;
+        }
+        if !changed {
+            break;
+        }
+    }
+    let picked: Vec<usize> =
+        assign.iter().enumerate().filter(|(_, &hi)| hi).map(|(i, _)| i).collect();
+    if picked.is_empty() || picked.len() == scores.len() {
+        // Degenerate clustering: argmax fallback.
+        let arg = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        return vec![arg];
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_clear_clusters() {
+        let scores = vec![0.1, 0.9, 0.85, 0.05, 0.12, 0.95];
+        let mut top = top_cluster_labels(&scores);
+        top.sort_unstable();
+        assert_eq!(top, vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn single_high_score() {
+        let scores = vec![0.01, 0.02, 0.99, 0.015];
+        assert_eq!(top_cluster_labels(&scores), vec![2]);
+    }
+
+    #[test]
+    fn uniform_scores_fall_back_to_argmax() {
+        let scores = vec![0.5, 0.5, 0.5];
+        assert_eq!(top_cluster_labels(&scores).len(), 1);
+    }
+
+    #[test]
+    fn two_point_input() {
+        assert_eq!(top_cluster_labels(&[0.1, 0.8]), vec![1]);
+    }
+
+    #[test]
+    fn handles_negative_scores() {
+        let scores = vec![-5.0, -4.8, 3.0, 3.2];
+        let mut top = top_cluster_labels(&scores);
+        top.sort_unstable();
+        assert_eq!(top, vec![2, 3]);
+    }
+}

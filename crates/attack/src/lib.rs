@@ -1,0 +1,44 @@
+//! # olive-attack
+//!
+//! The paper's sensitive-label inference attack (Section 4, Algorithm 2).
+//!
+//! A semi-honest server observes the enclave's memory access pattern while
+//! it aggregates **top-k sparsified** gradients, recovers each user's
+//! transmitted index set, and classifies those index sets against
+//! "teacher" index sets it computes itself from the global model and a
+//! labelled public test pool. The inferred output is the set of sensitive
+//! labels in the victim's training data.
+//!
+//! Modules, following the algorithm:
+//! * [`observer`] — the side channel: parses a [`RecordingTracer`] event
+//!   stream from the leaky linear aggregation into per-user index sets,
+//!   at element or cacheline granularity (Figure 7's 64-byte case);
+//! * [`teacher`] — computes `teacher[l, t]`: top-k gradient indices of
+//!   the round-t global model on test data of label `l`;
+//! * [`methods`] — the three scorers: `Jac` (Jaccard similarity over
+//!   union index sets), `NN` (one classifier per round, scores averaged),
+//!   `NN-single` (one classifier over concatenated rounds);
+//! * [`kmeans`] — 1-D 2-means selection of the high-scoring label set
+//!   when the victim's label-set size is unknown (Algorithm 2 line 27);
+//! * [`metrics`] — the paper's `all` / `top-1` success metrics;
+//! * [`pipeline`] — end-to-end driver against a running
+//!   [`OliveSystem`].
+//!
+//! [`RecordingTracer`]: olive_memsim::RecordingTracer
+//! [`OliveSystem`]: olive_core::OliveSystem
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kmeans;
+pub mod methods;
+pub mod metrics;
+pub mod observer;
+pub mod pipeline;
+pub mod teacher;
+
+pub use kmeans::top_cluster_labels;
+pub use methods::{score_user, AttackMethod, NnParams, ObservationLog, TeacherLog};
+pub use metrics::{evaluate_inference, AttackMetrics};
+pub use observer::{observe_linear_aggregation, Observation};
+pub use pipeline::{run_attack, AttackOutcome, AttackPipelineConfig};

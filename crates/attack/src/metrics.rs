@@ -1,0 +1,150 @@
+//! The paper's attack-success metrics (Section 4.2): `all` and `top-1`.
+
+use crate::kmeans::top_cluster_labels;
+
+/// Infers the victim's label set from scores: top-`count` when the set
+/// size is known (fixed-label setting), 2-means clustering otherwise
+/// (random-label setting).
+pub fn infer_label_set(scores: &[f64], known_count: Option<usize>) -> Vec<usize> {
+    match known_count {
+        Some(count) => {
+            let mut order: Vec<usize> = (0..scores.len()).collect();
+            order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+            let mut picked: Vec<usize> = order.into_iter().take(count).collect();
+            picked.sort_unstable();
+            picked
+        }
+        None => {
+            let mut picked = top_cluster_labels(scores);
+            picked.sort_unstable();
+            picked
+        }
+    }
+}
+
+/// The single highest-scoring label.
+pub fn top1_label(scores: &[f64]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// One victim's outcome.
+#[derive(Clone, Debug)]
+pub struct PerUserResult {
+    /// The victim.
+    pub user: u32,
+    /// Ground-truth label set.
+    pub truth: Vec<usize>,
+    /// Inferred label set.
+    pub inferred: Vec<usize>,
+    /// Highest-scored label.
+    pub top1: usize,
+}
+
+/// Aggregate attack success rates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttackMetrics {
+    /// Fraction of victims whose inferred set equals the truth exactly.
+    pub all: f64,
+    /// Fraction of victims whose top-scored label is in the truth
+    /// ("minimal privacy leak", Section 4.2).
+    pub top1: f64,
+    /// Number of victims evaluated.
+    pub evaluated: usize,
+}
+
+/// Computes `all` / `top-1` over per-user results.
+pub fn evaluate_inference(results: &[PerUserResult]) -> AttackMetrics {
+    if results.is_empty() {
+        return AttackMetrics { all: 0.0, top1: 0.0, evaluated: 0 };
+    }
+    let mut all_hits = 0usize;
+    let mut top1_hits = 0usize;
+    for r in results {
+        let mut truth = r.truth.clone();
+        truth.sort_unstable();
+        if truth == r.inferred {
+            all_hits += 1;
+        }
+        if truth.contains(&r.top1) {
+            top1_hits += 1;
+        }
+    }
+    AttackMetrics {
+        all: all_hits as f64 / results.len() as f64,
+        top1: top1_hits as f64 / results.len() as f64,
+        evaluated: results.len(),
+    }
+}
+
+/// Expected `all` success of uniform random guessing with known set size:
+/// `1 / C(num_labels, set_size)` — the paper's Figure 14 baseline
+/// ("1/₁₀C₃ < 0.01").
+pub fn random_guess_all(num_labels: usize, set_size: usize) -> f64 {
+    let mut c = 1.0f64;
+    for i in 0..set_size {
+        c = c * (num_labels - i) as f64 / (i + 1) as f64;
+    }
+    1.0 / c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_known_count_takes_top_scores() {
+        let scores = vec![0.1, 0.9, 0.3, 0.8];
+        assert_eq!(infer_label_set(&scores, Some(2)), vec![1, 3]);
+        assert_eq!(infer_label_set(&scores, Some(1)), vec![1]);
+    }
+
+    #[test]
+    fn infer_unknown_count_clusters() {
+        let scores = vec![0.05, 0.9, 0.1, 0.88];
+        assert_eq!(infer_label_set(&scores, None), vec![1, 3]);
+    }
+
+    #[test]
+    fn metrics_all_and_top1() {
+        let results = vec![
+            PerUserResult { user: 0, truth: vec![1, 3], inferred: vec![1, 3], top1: 1 },
+            PerUserResult { user: 1, truth: vec![2], inferred: vec![0], top1: 2 },
+            PerUserResult { user: 2, truth: vec![0, 4], inferred: vec![0, 3], top1: 5 },
+        ];
+        let m = evaluate_inference(&results);
+        assert!((m.all - 1.0 / 3.0).abs() < 1e-9);
+        assert!((m.top1 - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.evaluated, 3);
+    }
+
+    #[test]
+    fn truth_order_does_not_matter() {
+        let results = vec![PerUserResult {
+            user: 0,
+            truth: vec![3, 1],
+            inferred: vec![1, 3],
+            top1: 3,
+        }];
+        let m = evaluate_inference(&results);
+        assert_eq!(m.all, 1.0);
+    }
+
+    #[test]
+    fn random_guess_baseline() {
+        // 1/C(10,3) = 1/120.
+        assert!((random_guess_all(10, 3) - 1.0 / 120.0).abs() < 1e-12);
+        assert!((random_guess_all(100, 2) - 1.0 / 4950.0).abs() < 1e-12);
+        assert_eq!(random_guess_all(10, 1), 0.1);
+    }
+
+    #[test]
+    fn empty_results() {
+        let m = evaluate_inference(&[]);
+        assert_eq!(m.evaluated, 0);
+    }
+}

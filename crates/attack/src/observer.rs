@@ -1,0 +1,166 @@
+//! The side-channel observer: trace events → per-user index sets.
+//!
+//! During the leaky linear aggregation (Proposition 3.2) every incoming
+//! cell produces exactly one `(read, write)` pair on the dense buffer
+//! `G*`, in cell order. Cells are processed user by user (`G = G₁∥…∥Gₙ`),
+//! and the ciphertext sizes already tell the server each user's `k`, so
+//! the `t`-th pair belongs to user `processed[t / k]` and its offset *is*
+//! the secret index (element granularity) or its 64-byte line (cacheline
+//! granularity, Figure 7).
+
+use olive_core::regions::REGION_G_STAR;
+use olive_memsim::{Access, Granularity, Op};
+use olive_tee::UserId;
+
+/// Per-user observed feature sets for one round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Observation {
+    /// Observation granularity.
+    pub granularity: Granularity,
+    /// Feature-space dimension: `d` for element granularity, `⌈4d/64⌉`
+    /// lines for cacheline granularity.
+    pub feature_dim: usize,
+    /// `(user, sorted distinct feature ids)` in processing order.
+    pub per_user: Vec<(UserId, Vec<u32>)>,
+}
+
+/// Feature-space dimension for a model of dimension `d` at a granularity.
+pub fn feature_dim(d: usize, granularity: Granularity) -> usize {
+    match granularity {
+        Granularity::Element => d,
+        // f32 weights: 16 per 64-byte line.
+        Granularity::Cacheline => d.div_ceil(16),
+    }
+}
+
+/// Parses one round's trace. `processed` is the public upload-processing
+/// order; `k` the per-user cell count; `d` the model dimension.
+///
+/// Works on traces captured at either granularity (the tracer's
+/// granularity must match the `granularity` argument). Robust to
+/// non-leaky traces: if fewer than `processed.len()·k` pairs exist, the
+/// remaining users simply observe nothing.
+pub fn observe_linear_aggregation(
+    events: &[Access],
+    processed: &[UserId],
+    k: usize,
+    d: usize,
+    granularity: Granularity,
+) -> Observation {
+    let fdim = feature_dim(d, granularity);
+    let total_cells = processed.len() * k;
+    let mut per_user: Vec<(UserId, Vec<u32>)> =
+        processed.iter().map(|&u| (u, Vec::new())).collect();
+    let mut cell = 0usize;
+    let mut pending_read: Option<u64> = None;
+    for a in events {
+        if cell >= total_cells {
+            break;
+        }
+        if a.region != REGION_G_STAR {
+            continue;
+        }
+        match a.op {
+            Op::Read => pending_read = Some(a.offset),
+            Op::Write => {
+                if let Some(off) = pending_read.take() {
+                    // A completed read-modify-write pair = one cell.
+                    let feature = match granularity {
+                        Granularity::Element => (off / 4) as u32,
+                        Granularity::Cacheline => off as u32,
+                    };
+                    if (feature as usize) < fdim {
+                        per_user[cell / k].1.push(feature);
+                    }
+                    cell += 1;
+                }
+            }
+        }
+    }
+    for (_, feats) in &mut per_user {
+        feats.sort_unstable();
+        feats.dedup();
+    }
+    Observation { granularity, feature_dim: fdim, per_user }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_core::aggregation::{aggregate, AggregatorKind};
+    use olive_fl::SparseGradient;
+    use olive_memsim::RecordingTracer;
+
+    fn updates() -> Vec<SparseGradient> {
+        vec![
+            SparseGradient { dense_dim: 64, indices: vec![3, 17, 40], values: vec![1.0; 3] },
+            SparseGradient { dense_dim: 64, indices: vec![3, 20, 63], values: vec![1.0; 3] },
+        ]
+    }
+
+    fn run(kind: AggregatorKind, granularity: Granularity) -> Observation {
+        let ups = updates();
+        let mut tr = RecordingTracer::with_events(granularity);
+        aggregate(kind, &ups, 64, &mut tr);
+        observe_linear_aggregation(tr.events().unwrap(), &[10, 11], 3, 64, granularity)
+    }
+
+    #[test]
+    fn recovers_exact_indices_at_element_granularity() {
+        let obs = run(AggregatorKind::NonOblivious, Granularity::Element);
+        assert_eq!(obs.per_user[0], (10, vec![3, 17, 40]));
+        assert_eq!(obs.per_user[1], (11, vec![3, 20, 63]));
+    }
+
+    #[test]
+    fn recovers_lines_at_cacheline_granularity() {
+        let obs = run(AggregatorKind::NonOblivious, Granularity::Cacheline);
+        // 16 f32 per line: 3→0, 17→1, 40→2 / 3→0, 20→1, 63→3.
+        assert_eq!(obs.per_user[0], (10, vec![0, 1, 2]));
+        assert_eq!(obs.per_user[1], (11, vec![0, 1, 3]));
+        assert_eq!(obs.feature_dim, 4);
+    }
+
+    #[test]
+    fn advanced_defense_yields_no_user_signal() {
+        // Against Algorithm 4 the only G* read-write pairs come from the
+        // (index-oblivious) averaging pass: every user "observes" the same
+        // data-independent prefix — zero attack signal.
+        let a = run(AggregatorKind::Advanced, Granularity::Element);
+        // Re-run with different secret indices:
+        let ups2 = vec![
+            SparseGradient { dense_dim: 64, indices: vec![1, 2, 5], values: vec![1.0; 3] },
+            SparseGradient { dense_dim: 64, indices: vec![7, 8, 9], values: vec![1.0; 3] },
+        ];
+        let mut tr = RecordingTracer::with_events(Granularity::Element);
+        aggregate(AggregatorKind::Advanced, &ups2, 64, &mut tr);
+        let b = observe_linear_aggregation(tr.events().unwrap(), &[10, 11], 3, 64, Granularity::Element);
+        assert_eq!(a, b, "observed features must not depend on the secret indices");
+    }
+
+    #[test]
+    fn baseline_defense_hides_indices_at_cacheline() {
+        let a = run(AggregatorKind::Baseline { cacheline_weights: 16 }, Granularity::Cacheline);
+        let ups2 = vec![
+            SparseGradient { dense_dim: 64, indices: vec![0, 1, 2], values: vec![1.0; 3] },
+            SparseGradient { dense_dim: 64, indices: vec![61, 62, 63], values: vec![1.0; 3] },
+        ];
+        let mut tr = RecordingTracer::with_events(Granularity::Cacheline);
+        aggregate(AggregatorKind::Baseline { cacheline_weights: 16 }, &ups2, 64, &mut tr);
+        let b = observe_linear_aggregation(
+            tr.events().unwrap(),
+            &[10, 11],
+            3,
+            64,
+            Granularity::Cacheline,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn short_traces_leave_users_empty() {
+        let obs = observe_linear_aggregation(&[], &[1, 2], 5, 64, Granularity::Element);
+        assert_eq!(obs.per_user.len(), 2);
+        assert!(obs.per_user.iter().all(|(_, f)| f.is_empty()));
+    }
+}

@@ -1,0 +1,99 @@
+//! Teacher index generation (Algorithm 2 lines 9–12).
+//!
+//! For each label `l`, the attacker computes the gradient of the round's
+//! global model on its labelled test pool `X_l` — *without* updating the
+//! model — and keeps the top-k indices. These are the supervised-learning
+//! features: if the victim's training data contains label `l`, its
+//! observed top-k set will resemble `teacher[l]`.
+
+use olive_data::Dataset;
+use olive_fl::{SparseGradient, Sparsifier};
+use olive_memsim::Granularity;
+use olive_nn::Model;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Top-k gradient indices of `model@params` on `data` (one full-batch
+/// gradient, no update), mapped into the observation feature space.
+pub fn teacher_features(
+    model: &mut Model,
+    params: &[f32],
+    data: &Dataset,
+    k: usize,
+    granularity: Granularity,
+) -> Vec<u32> {
+    assert!(!data.is_empty(), "teacher pool for a label is empty");
+    model.set_params(params);
+    model.zero_grads();
+    // Full-batch gradient in chunks (memory-bounded).
+    let chunk = 64usize;
+    let mut s = 0;
+    while s < data.len() {
+        let e = (s + chunk).min(data.len());
+        let mut xs = Vec::with_capacity((e - s) * data.feature_dim);
+        for i in s..e {
+            xs.extend_from_slice(data.row(i));
+        }
+        model.train_batch(&xs, &data.labels[s..e]);
+        s = e;
+    }
+    let grads = model.get_grads();
+    model.zero_grads();
+    let mut rng = SmallRng::seed_from_u64(0); // top-k is deterministic
+    let sparse = SparseGradient::from_dense(&grads, Sparsifier::TopK(k), &mut rng);
+    to_feature_space(&sparse.indices, granularity)
+}
+
+/// Maps raw parameter indices into the observation feature space
+/// (identity for element granularity; 16-per-line for cachelines).
+pub fn to_feature_space(indices: &[u32], granularity: Granularity) -> Vec<u32> {
+    match granularity {
+        Granularity::Element => indices.to_vec(),
+        Granularity::Cacheline => {
+            let mut lines: Vec<u32> = indices.iter().map(|&i| i / 16).collect();
+            lines.sort_unstable();
+            lines.dedup();
+            lines
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_data::synthetic::{Generator, SyntheticConfig};
+    use olive_nn::zoo::mlp;
+
+    #[test]
+    fn teacher_indices_depend_on_label() {
+        let gen = Generator::new(SyntheticConfig::tiny(24, 4), 8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut model = mlp(24, 8, 4, 0.0, 2);
+        let params = model.get_params();
+        let x0 = gen.sample_class(0, 30, &mut rng);
+        let x1 = gen.sample_class(1, 30, &mut rng);
+        let t0 = teacher_features(&mut model, &params, &x0, 20, Granularity::Element);
+        let t1 = teacher_features(&mut model, &params, &x1, 20, Granularity::Element);
+        assert_eq!(t0.len(), 20);
+        assert_ne!(t0, t1, "different labels must induce different teacher sets");
+    }
+
+    #[test]
+    fn teacher_is_deterministic() {
+        let gen = Generator::new(SyntheticConfig::tiny(24, 4), 8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut model = mlp(24, 8, 4, 0.0, 2);
+        let params = model.get_params();
+        let x = gen.sample_class(2, 20, &mut rng);
+        let a = teacher_features(&mut model, &params, &x, 10, Granularity::Element);
+        let b = teacher_features(&mut model, &params, &x, 10, Granularity::Element);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cacheline_space_coarsens() {
+        let idx = vec![0u32, 5, 15, 16, 17, 300];
+        let lines = to_feature_space(&idx, Granularity::Cacheline);
+        assert_eq!(lines, vec![0, 1, 18]);
+    }
+}

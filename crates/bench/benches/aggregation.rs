@@ -1,0 +1,50 @@
+//! Criterion microbench backing Figure 9: aggregation algorithms across
+//! model sizes (reduced sizes; the `fig09` binary runs paper scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olive_bench::synthetic_updates;
+use olive_core::aggregation::{aggregate, AggregatorKind};
+use olive_memsim::NullTracer;
+use olive_oram::PosMapKind;
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation_vs_model_size");
+    group.sample_size(10);
+    for d in [1_000usize, 10_000, 100_000] {
+        let k = (d / 100).max(1);
+        let n = 100;
+        let updates = synthetic_updates(n, k, d, 1);
+        group.bench_with_input(BenchmarkId::new("non_oblivious", d), &d, |b, &d| {
+            b.iter(|| aggregate(AggregatorKind::NonOblivious, &updates, d, &mut NullTracer))
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_c16", d), &d, |b, &d| {
+            b.iter(|| {
+                aggregate(
+                    AggregatorKind::Baseline { cacheline_weights: 16 },
+                    &updates,
+                    d,
+                    &mut NullTracer,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("advanced", d), &d, |b, &d| {
+            b.iter(|| aggregate(AggregatorKind::Advanced, &updates, d, &mut NullTracer))
+        });
+        if d <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("path_oram", d), &d, |b, &d| {
+                b.iter(|| {
+                    aggregate(
+                        AggregatorKind::PathOram { posmap: PosMapKind::LinearScan },
+                        &updates,
+                        d,
+                        &mut NullTracer,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion microbench: the secure-channel crypto on the upload path
+//! (AES-GCM seal/open of a typical sparsified-gradient payload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use olive_crypto::gcm::AesGcm;
+use olive_crypto::sha256::sha256;
+
+fn bench_gcm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes_gcm");
+    let key = AesGcm::new(&[7u8; 32]).unwrap();
+    for size in [4usize << 10, 40 << 10] {
+        // 40 KiB ≈ one client's α=0.1 MNIST-MLP upload (5089 cells × 8 B).
+        let payload = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal", size), &size, |b, _| {
+            b.iter(|| key.seal(&[1u8; 12], &payload, b"aad"))
+        });
+        let ct = key.seal(&[1u8; 12], &payload, b"aad");
+        group.bench_with_input(BenchmarkId::new("open", size), &size, |b, _| {
+            b.iter(|| key.open(&[1u8; 12], &ct, b"aad").unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha(c: &mut Criterion) {
+    let data = vec![0u8; 64 << 10];
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("64KiB", |b| b.iter(|| sha256(&data)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_gcm, bench_sha);
+criterion_main!(benches);

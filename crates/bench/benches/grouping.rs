@@ -1,0 +1,24 @@
+//! Criterion microbench backing Figure 11: the grouped-Advanced U-curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olive_bench::synthetic_updates;
+use olive_core::aggregation::{aggregate, AggregatorKind};
+use olive_memsim::NullTracer;
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouped_advanced_h_sweep");
+    group.sample_size(10);
+    let d = 50_890;
+    let k = 509; // alpha = 0.01 keeps the bench fast
+    let n = 512;
+    let updates = synthetic_updates(n, k, d, 2);
+    for h in [8usize, 32, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| aggregate(AggregatorKind::Grouped { h }, &updates, d, &mut NullTracer))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

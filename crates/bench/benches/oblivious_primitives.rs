@@ -1,0 +1,67 @@
+//! Criterion microbench: the cost of obliviousness at the primitive level
+//! (o_select vs branch; bitonic network vs std unstable sort).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olive_memsim::{NullTracer, TrackedBuf};
+use olive_oblivious::sort::bitonic_sort_pow2;
+use olive_oblivious::{o_scan_read, o_select};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_select(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let data: Vec<(bool, u64, u64)> =
+        (0..1024).map(|_| (rng.gen(), rng.gen(), rng.gen())).collect();
+    c.bench_function("o_select_u64_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(f, x, y) in &data {
+                acc ^= o_select(f, x, y);
+            }
+            acc
+        })
+    });
+    c.bench_function("branch_select_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(f, x, y) in &data {
+                acc ^= if std::hint::black_box(f) { x } else { y };
+            }
+            acc
+        })
+    });
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort");
+    group.sample_size(10);
+    for n in [1usize << 12, 1 << 16] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::new("bitonic_oblivious", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = TrackedBuf::new(0, data.clone());
+                bitonic_sort_pow2(&mut buf, |x| *x, &mut NullTracer);
+                buf.into_inner()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("std_unstable", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                v.sort_unstable();
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let buf = TrackedBuf::new(0, (0..4096u64).collect::<Vec<_>>());
+    c.bench_function("o_scan_read_4096", |b| {
+        b.iter(|| o_scan_read(&buf, std::hint::black_box(1234), &mut NullTracer))
+    });
+}
+
+criterion_group!(benches, bench_select, bench_sort, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Figure 11: the grouping optimization's U-curve over group size h.
+//!
+//! Left panel: MNIST MLP (d = 50,890) at α = 0.1, the Figure 10 worst
+//! case. Right panel: CIFAR100-scale MLP (d ≈ 204k) at α = 0.01.
+//! Expected shape: very small h pays repeated per-group d-overhead; very
+//! large h thrashes the cache (8 MB L3) and, on SGX, the EPC; the optimum
+//! sits where one group's sort vector ≈ cache size (paper: h ≈ 100–150).
+//!
+//! Also replays a scaled-down trace through the cache/EPC cost simulator
+//! to show the same U-curve under the paper's hardware constants
+//! (`--no-sim` to skip).
+
+use olive_bench::perf::time_aggregation_prebuilt;
+use olive_bench::table::{print_table, secs};
+use olive_bench::{has_flag, synthetic_updates};
+use olive_core::aggregation::{aggregate, AggregatorKind};
+use olive_memsim::{CacheConfig, RecordingTracer, SgxCostEstimate};
+
+fn panel(name: &str, d: usize, k: usize, n: usize, hs: &[usize]) {
+    let updates = synthetic_updates(n, k, d, 11);
+    let mut rows = Vec::new();
+    let (t_adv, ws) = time_aggregation_prebuilt(AggregatorKind::Advanced, &updates, d);
+    rows.push(vec![
+        format!("ungrouped (h={n})"),
+        secs(t_adv),
+        format!("{:.0} MB", ws as f64 / (1 << 20) as f64),
+    ]);
+    for &h in hs {
+        let (t, ws) = time_aggregation_prebuilt(AggregatorKind::Grouped { h }, &updates, d);
+        rows.push(vec![
+            format!("h={h}"),
+            secs(t),
+            format!("{:.0} MB", ws as f64 / (1 << 20) as f64),
+        ]);
+        eprintln!("{name}: h = {h} done");
+    }
+    print_table(
+        &format!("Figure 11 ({name}): grouped Advanced vs group size h (n={n}, d={d}, k={k})"),
+        &["group size", "time", "per-group working set"],
+        &rows,
+    );
+}
+
+/// Trace-driven cache/EPC cost model at reduced scale: shows the same
+/// U-curve under the paper's 8 MB L3 / 96 MB EPC constants, independent
+/// of this machine's cache hierarchy. The geometry is scaled down 64×
+/// (128 KiB cache, 1.5 MB EPC) to keep trace replay fast.
+fn simulated_panel(d: usize, k: usize, n: usize, hs: &[usize]) {
+    let updates = synthetic_updates(n, k, d, 13);
+    let mut rows = Vec::new();
+    for &h in hs {
+        let mut tr = RecordingTracer::new(olive_memsim::Granularity::Cacheline);
+        // Record the trace, then replay it through the cost model.
+        let mut est = SgxCostEstimate::new(
+            CacheConfig { size_bytes: 128 << 10, ways: 16, line_bytes: 64 },
+            3 << 19, // 1.5 MB scaled EPC
+            olive_memsim::CostModel::default(),
+        );
+        let mut replay = RecordingTracer::with_events(olive_memsim::Granularity::Cacheline)
+            .with_event_cap(200_000_000);
+        aggregate(AggregatorKind::Grouped { h }, &updates, d, &mut replay);
+        for a in replay.events().unwrap() {
+            est.access(a.region, a.offset * 64);
+        }
+        let _ = &mut tr;
+        rows.push(vec![
+            format!("h={h}"),
+            format!("{:.2} ms (simulated)", est.estimated_ns() / 1e6),
+            format!("{:.1}% cache miss", est.cache_stats().miss_rate() * 100.0),
+            format!("{} EPC faults", est.epc_stats().faults),
+        ]);
+    }
+    print_table(
+        &format!("Figure 11 (cost-model replay, scaled 64x): n={n}, d={d}, k={k}"),
+        &["group size", "simulated memory time", "L3 miss rate", "EPC faults"],
+        &rows,
+    );
+}
+
+fn main() {
+    let full = has_flag("--full");
+    let n = if full { 3000 } else { 1000 };
+    // Left: MNIST MLP, α = 0.1.
+    panel("MNIST MLP", 50_890, 5_089, n, &[10, 25, 50, 100, 200, 500, 1000]);
+    // Right: CIFAR100-scale MLP, α = 0.01.
+    panel("CIFAR100 MLP", 204_000, 2_040, n, &[25, 50, 100, 150, 300, 600]);
+    if !has_flag("--no-sim") {
+        simulated_panel(12_800, 128, 256, &[2, 8, 32, 128, 256]);
+    }
+    println!(
+        "\nShape claim: time falls from tiny h, reaches a minimum near the h whose per-group\n\
+         sort vector ≈ cache size, then rises again as sorting outgrows L3/EPC (paper: 290s →\n\
+         ~10s at h≈100 for MNIST; 16s → 5.7s at h≈150 for CIFAR100)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Figures 12 & 13: the Figure 4/5 attacks repeated under DP
+//! (Algorithm 6, σ = 1.12).
+//!
+//! Expected shape: success rates barely change — the attacker observes
+//! the raw index pattern *before* the enclave adds noise, so model-level
+//! DP does not defend the side channel. This is the motivating result
+//! for Olive in CDP-FL (Appendix D.3).
+
+use olive_bench::attack_exp::{run_experiment, AttackExperiment, Scale, Workload};
+use olive_bench::has_flag;
+use olive_bench::table::{pct, print_table};
+use olive_attack::AttackMethod;
+use olive_data::LabelAssignment;
+use olive_memsim::Granularity;
+
+fn main() {
+    let scale = Scale::from_flags();
+    let quick = has_flag("--quick");
+    let sigma = 1.12;
+    let workloads: Vec<Workload> = if quick {
+        vec![Workload::MnistMlp]
+    } else {
+        vec![Workload::MnistMlp, Workload::Purchase100Mlp]
+    };
+    for workload in &workloads {
+        let mut rows = Vec::new();
+        for (setting, labels) in [
+            ("fixed-1", LabelAssignment::Fixed(1)),
+            ("fixed-2", LabelAssignment::Fixed(2)),
+            ("random-2", LabelAssignment::Random(2)),
+        ] {
+            for dp in [None, Some(sigma)] {
+                let exp = AttackExperiment {
+                    workload: *workload,
+                    labels,
+                    alpha: 0.1,
+                    method: AttackMethod::Jaccard,
+                    granularity: Granularity::Element,
+                    dp_sigma: dp,
+                    seed: 1213,
+                };
+                let (all, top1) = run_experiment(&exp, &scale);
+                rows.push(vec![
+                    setting.to_string(),
+                    dp.map(|s| format!("sigma={s}")).unwrap_or_else(|| "no DP".into()),
+                    pct(all),
+                    pct(top1),
+                ]);
+                eprintln!("{} / {setting} / dp={dp:?} done", workload.name());
+            }
+        }
+        print_table(
+            &format!("Figures 12-13 ({}): attack with vs without DP", workload.name()),
+            &["label setting", "DP", "all", "top-1"],
+            &rows,
+        );
+    }
+    println!("\nShape claim: with sigma = 1.12 the attack is essentially unaffected.");
+}

@@ -1,0 +1,51 @@
+//! Figures 15 & 16: the utility cost of defending with DP noise instead
+//! of obliviousness — test accuracy (Fig. 15) and per-round test loss
+//! (Fig. 16) for increasing σ.
+//!
+//! Expected shape: accuracy collapses for the σ ≥ 4 that Figure 14 showed
+//! would be needed to blunt the attack; training stops converging at
+//! large σ. Conclusion (Appendix D.3): DP cannot substitute for Olive's
+//! oblivious aggregation.
+
+use olive_bench::attack_exp::{utility_run, Scale, Workload};
+use olive_bench::has_flag;
+use olive_bench::table::{pct, print_table};
+
+fn main() {
+    let scale = Scale::from_flags();
+    let quick = has_flag("--quick");
+    let sigmas: &[f64] = if quick { &[0.0, 4.0] } else { &[0.0, 0.5, 1.12, 2.0, 4.0, 8.0] };
+    let rounds = if quick { 8 } else { 24 };
+
+    let mut acc_rows = Vec::new();
+    let mut loss_tables: Vec<(f64, Vec<(f32, f32, f64)>)> = Vec::new();
+    for &sigma in sigmas {
+        let series = utility_run(Workload::MnistMlp, sigma, 0.1, rounds, &scale, 1500);
+        let (final_loss, final_acc, eps) = *series.last().unwrap();
+        acc_rows.push(vec![
+            format!("{sigma:.2}"),
+            pct(final_acc as f64),
+            format!("{final_loss:.3}"),
+            if sigma > 0.0 { format!("{eps:.2}") } else { "-".into() },
+        ]);
+        loss_tables.push((sigma, series));
+        eprintln!("sigma {sigma} done");
+    }
+    print_table(
+        &format!("Figure 15 (MNIST MLP): utility after {rounds} rounds vs sigma"),
+        &["sigma", "test accuracy", "test loss", "epsilon (delta=1e-5)"],
+        &acc_rows,
+    );
+
+    println!("\n=== Figure 16: test-loss trajectories ===");
+    for (sigma, series) in &loss_tables {
+        let losses: Vec<String> = series
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % (rounds / 8).max(1) == 0)
+            .map(|(i, (l, _, _))| format!("r{i}:{l:.2}"))
+            .collect();
+        println!("  sigma={sigma:<5} {}", losses.join("  "));
+    }
+    println!("\nShape claims: accuracy degrades monotonically with sigma; at the sigma that\nwould blunt the attack (>4), the model no longer trains.");
+}

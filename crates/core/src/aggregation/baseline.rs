@@ -1,0 +1,145 @@
+//! The Baseline oblivious aggregation (Algorithm 3).
+//!
+//! For every incoming cell, sweep the *entire* dense buffer `G*` writing at
+//! each position either the unchanged value or the updated sum, selected in
+//! registers with `o_mov` — the timing of the real write is invisible. The
+//! cacheline optimization (Section 5.1): when the adversary observes at
+//! 64-byte granularity, it suffices to touch one slot per cacheline — the
+//! slot congruent to the target index mod `c` (c = 16 for 4-byte weights)
+//! — for a 16× speedup while remaining cacheline-level fully oblivious
+//! (Proposition 5.1). Complexity O(nk·d/c), space O(nk + d).
+
+use olive_memsim::{TrackedBuf, Tracer};
+use olive_oblivious::o_select;
+
+use crate::cell::{cell_index, cell_value};
+use crate::regions::{REGION_G, REGION_G_STAR};
+
+use super::linear::average_in_place;
+
+/// Baseline aggregation over the concatenated cells. `cacheline_weights`
+/// is `c`: 1 = element-level oblivious full scan, 16 = the paper's
+/// cacheline optimization for f32 weights.
+pub fn aggregate_baseline<TR: Tracer>(
+    cells: &[u64],
+    d: usize,
+    n: usize,
+    cacheline_weights: usize,
+    tr: &mut TR,
+) -> Vec<f32> {
+    assert!(cacheline_weights >= 1, "c must be at least 1");
+    let c = cacheline_weights;
+    let g = TrackedBuf::new(REGION_G, cells.to_vec());
+    // Pad G* to a multiple of c so every stripe has the same length —
+    // otherwise the stripe length would leak `index mod c`.
+    let padded = d.div_ceil(c) * c;
+    let mut gstar = TrackedBuf::<f32>::zeroed(REGION_G_STAR, padded);
+    for i in 0..g.len() {
+        let cell = g.read(i, tr);
+        let idx = cell_index(cell) as usize;
+        let val = cell_value(cell);
+        debug_assert!(idx < d, "cell index out of range");
+        let offset = idx % c;
+        // One touched slot per cacheline, in address order.
+        let mut j = offset;
+        while j < padded {
+            let cur = gstar.read(j, tr);
+            let updated = o_select(j == idx, cur + val, cur);
+            gstar.write(j, updated, tr);
+            j += c;
+        }
+    }
+    average_in_place(&mut gstar, n, tr);
+    let mut out = gstar.into_inner();
+    out.truncate(d);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::reference_average;
+    use crate::aggregation::test_support::*;
+    use crate::cell::concat_cells;
+    use olive_memsim::{
+        assert_not_oblivious, assert_oblivious, Granularity, NullTracer, RecordingTracer,
+    };
+
+    #[test]
+    fn correct_for_all_c() {
+        let updates = random_updates(4, 6, 50, 11);
+        let cells = concat_cells(&updates);
+        let expected = reference_average(&updates, 50);
+        for c in [1usize, 4, 16, 64] {
+            let got = aggregate_baseline(&cells, 50, 4, c, &mut NullTracer);
+            assert_close(&got, &expected, 1e-5);
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_indices_across_clients() {
+        use olive_fl::SparseGradient;
+        let u = |v: f32| SparseGradient { dense_dim: 8, indices: vec![2, 5], values: vec![v, -v] };
+        let updates = vec![u(1.0), u(3.0)];
+        let got = aggregate_baseline(&concat_cells(&updates), 8, 2, 16, &mut NullTracer);
+        assert_eq!(got[2], 2.0);
+        assert_eq!(got[5], -2.0);
+    }
+
+    /// Proposition 5.1: Baseline with c = 16 is cacheline-level fully
+    /// oblivious; with c = 1 it is element-level fully oblivious.
+    #[test]
+    fn prop_5_1_obliviousness() {
+        let inputs = vec![
+            concat_cells(&random_updates(3, 5, 128, 1)),
+            concat_cells(&random_updates(3, 5, 128, 2)),
+            concat_cells(&random_updates(3, 5, 128, 3)),
+        ];
+        assert_oblivious(Granularity::Cacheline, &inputs, |cells, tr| {
+            aggregate_baseline(cells, 128, 3, 16, tr);
+        });
+        assert_oblivious(Granularity::Element, &inputs, |cells, tr| {
+            aggregate_baseline(cells, 128, 3, 1, tr);
+        });
+    }
+
+    /// The boundary of the guarantee: c = 16 is NOT element-level
+    /// oblivious (the stripe offset reveals index mod 16) — exactly why
+    /// the paper states Proposition 5.1 at cacheline granularity.
+    #[test]
+    fn c16_leaks_at_element_granularity() {
+        use olive_fl::SparseGradient;
+        let mk = |idx: u32| {
+            vec![SparseGradient { dense_dim: 64, indices: vec![idx], values: vec![1.0] }]
+        };
+        let inputs = vec![concat_cells(&mk(0)), concat_cells(&mk(1))];
+        assert_not_oblivious(Granularity::Element, &inputs, |cells, tr| {
+            aggregate_baseline(cells, 64, 1, 16, tr);
+        });
+    }
+
+    #[test]
+    fn access_count_matches_complexity() {
+        // nk cells × ceil(d/c) stripe slots × (read+write) + nk G-reads +
+        // averaging 2·padded.
+        let updates = random_updates(2, 3, 64, 5);
+        let cells = concat_cells(&updates);
+        let mut tr = RecordingTracer::new(Granularity::Element);
+        aggregate_baseline(&cells, 64, 2, 16, &mut tr);
+        let nk = 6u64;
+        let stripes = 4u64; // 64/16
+        let expected = nk + nk * stripes * 2 + 2 * 64;
+        assert_eq!(tr.stats().total(), expected);
+    }
+
+    #[test]
+    fn non_multiple_d_padding_keeps_stripes_equal() {
+        // d = 50, c = 16 → padded 64; all stripes have 4 slots.
+        let updates = random_updates(2, 4, 50, 6);
+        let cells = concat_cells(&updates);
+        let inputs = vec![cells.clone(), concat_cells(&random_updates(2, 4, 50, 7))];
+        assert_oblivious(Granularity::Cacheline, &inputs, |cells, tr| {
+            aggregate_baseline(cells, 50, 2, 16, tr);
+        });
+    }
+}

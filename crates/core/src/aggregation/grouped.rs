@@ -1,0 +1,101 @@
+//! The grouped optimization of Advanced (Section 5.3).
+//!
+//! Batcher-sorting the full `nk + d` vector has poor locality: beyond the
+//! L3 cache (8 MB) every long-stride exchange misses, and beyond the EPC
+//! (96 MB) it page-faults with encrypted paging — the Figure 10 cliff at
+//! N = 10⁴. The fix: split the n clients into groups of `h`, run Advanced
+//! per group (working set `hk + d` cells), and accumulate the group sums
+//! into a running total with an oblivious linear pass. Security is
+//! unchanged — every step is oblivious and the group schedule is public.
+//! Complexity O((n/h)·(hk+d)·log²(hk+d)); the optimal `h` balances sort
+//! size against per-group overhead and is data-independent (Figure 11).
+
+use olive_fl::SparseGradient;
+use olive_memsim::{TrackedBuf, Tracer};
+
+use crate::cell::concat_cells;
+use crate::regions::REGION_G_STAR;
+
+use super::advanced::sum_advanced;
+use super::linear::average_in_place;
+
+/// Grouped-Advanced aggregation with `h` clients per group.
+pub fn aggregate_grouped<TR: Tracer>(
+    updates: &[SparseGradient],
+    d: usize,
+    h: usize,
+    tr: &mut TR,
+) -> Vec<f32> {
+    assert!(h >= 1, "group size must be at least 1");
+    let n = updates.len();
+    // The running total lives in the enclave across groups (Section 5.3
+    // step 3: "record the aggregated value in the enclave, and carry over
+    // the result to the next group").
+    let mut total = TrackedBuf::<f32>::zeroed(REGION_G_STAR, d);
+    for group in updates.chunks(h) {
+        let cells = concat_cells(group);
+        let partial = sum_advanced(&cells, d, tr);
+        // Oblivious carry: fixed linear read-add-write sweep.
+        for j in 0..d {
+            let p = partial.read(j, tr);
+            let t = total.read(j, tr);
+            total.write(j, t + p, tr);
+        }
+    }
+    // Step 4: average only once, after the last group.
+    average_in_place(&mut total, n, tr);
+    total.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::reference_average;
+    use crate::aggregation::test_support::*;
+    use olive_memsim::{assert_oblivious, Granularity, NullTracer, RecordingTracer};
+
+    #[test]
+    fn matches_reference_for_all_h() {
+        let updates = random_updates(10, 5, 48, 20);
+        let expected = reference_average(&updates, 48);
+        for h in [1usize, 2, 3, 5, 10, 99] {
+            let got = aggregate_grouped(&updates, 48, h, &mut NullTracer);
+            assert_close(&got, &expected, 1e-4);
+        }
+    }
+
+    #[test]
+    fn uneven_last_group_handled() {
+        // 10 clients, h = 4 → groups of 4, 4, 2.
+        let updates = random_updates(10, 3, 32, 21);
+        let got = aggregate_grouped(&updates, 32, 4, &mut NullTracer);
+        assert_close(&got, &reference_average(&updates, 32), 1e-4);
+    }
+
+    #[test]
+    fn oblivious_for_fixed_shape() {
+        let inputs = vec![
+            random_updates(6, 4, 32, 1),
+            random_updates(6, 4, 32, 2),
+            random_updates(6, 4, 32, 3),
+        ];
+        assert_oblivious(Granularity::Element, &inputs, |updates, tr| {
+            aggregate_grouped(updates, 32, 2, tr);
+        });
+    }
+
+    #[test]
+    fn grouping_overhead_is_the_d_term() {
+        // Grouping pays the d-sized zero-seed vector once per group:
+        // with d ≫ k, h=1 (n groups) does far more work than h=n (one
+        // group) — the "lowering h too much results in a large amount of
+        // data loading" end of the Figure 11 U-curve.
+        let updates = random_updates(8, 4, 256, 5);
+        let trace_len = |h: usize| {
+            let mut tr = RecordingTracer::new(Granularity::Element);
+            aggregate_grouped(&updates, 256, h, &mut tr);
+            tr.stats().total()
+        };
+        assert!(trace_len(8) < trace_len(1));
+    }
+}

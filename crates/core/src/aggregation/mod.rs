@@ -1,0 +1,195 @@
+//! Server-side aggregation algorithms over sparsified gradients.
+//!
+//! Every function here consumes the concatenated cell buffer `G` (nk cells
+//! of `(index, value)`) plus the dense dimension `d` and the participant
+//! count `n`, and returns the **averaged** dense update
+//! `Δ̃ = (1/n) Σᵢ Δᵢ` (Algorithm 1 line 12). All adversary-visible state
+//! lives in [`TrackedBuf`]s so the supplied [`Tracer`] observes the exact
+//! access sequence the paper's threat model grants the server.
+//!
+//! [`TrackedBuf`]: olive_memsim::TrackedBuf
+//! [`Tracer`]: olive_memsim::Tracer
+
+pub mod advanced;
+pub mod baseline;
+pub mod dobliv;
+pub mod grouped;
+pub mod linear;
+pub mod oram;
+
+use olive_fl::SparseGradient;
+use olive_memsim::Tracer;
+use olive_oram::PosMapKind;
+
+use crate::cell::concat_cells;
+
+/// Which aggregation algorithm the enclave runs (Section 5's lineup).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AggregatorKind {
+    /// The linear algorithm (Algorithm 5): fast, **not oblivious** for
+    /// sparse inputs — the vulnerable default this paper attacks.
+    NonOblivious,
+    /// Algorithm 3 with `c` weights per cacheline (c = 16 for f32 cells =
+    /// the paper's 16× optimization; c = 1 degenerates to element-level
+    /// full scans).
+    Baseline {
+        /// Weights per cacheline.
+        cacheline_weights: usize,
+    },
+    /// Algorithm 4 (sort → fold → sort).
+    Advanced,
+    /// Section 5.3: Advanced applied to groups of `h` clients with an
+    /// oblivious carry accumulation.
+    Grouped {
+        /// Clients per group.
+        h: usize,
+    },
+    /// The general-purpose PathORAM comparator (ZeroTrace model).
+    PathOram {
+        /// Position-map strategy.
+        posmap: PosMapKind,
+    },
+    /// Section 5.4: differentially-oblivious relaxation (dummy padding +
+    /// oblivious shuffle + linear pass). `epsilon`/`delta` budget the
+    /// access-histogram DP guarantee.
+    DiffOblivious {
+        /// DP ε for the access-pattern histogram.
+        epsilon: f64,
+        /// DP δ for the access-pattern histogram.
+        delta: f64,
+        /// Seed for padding + shuffle randomness.
+        seed: u64,
+    },
+}
+
+/// Aggregates sparse client updates with the chosen algorithm, reporting
+/// every adversary-visible access to `tr`. Returns the averaged dense
+/// update of length `d`.
+pub fn aggregate<TR: Tracer>(
+    kind: AggregatorKind,
+    updates: &[SparseGradient],
+    d: usize,
+    tr: &mut TR,
+) -> Vec<f32> {
+    assert!(!updates.is_empty(), "no updates to aggregate");
+    for u in updates {
+        assert_eq!(u.dense_dim, d, "update dimension mismatch");
+    }
+    let n = updates.len();
+    match kind {
+        AggregatorKind::NonOblivious => {
+            let cells = concat_cells(updates);
+            linear::aggregate_sparse_linear(&cells, d, n, tr)
+        }
+        AggregatorKind::Baseline { cacheline_weights } => {
+            let cells = concat_cells(updates);
+            baseline::aggregate_baseline(&cells, d, n, cacheline_weights, tr)
+        }
+        AggregatorKind::Advanced => {
+            let cells = concat_cells(updates);
+            advanced::aggregate_advanced(&cells, d, n, tr)
+        }
+        AggregatorKind::Grouped { h } => grouped::aggregate_grouped(updates, d, h, tr),
+        AggregatorKind::PathOram { posmap } => {
+            let cells = concat_cells(updates);
+            oram::aggregate_oram(&cells, d, n, posmap, tr)
+        }
+        AggregatorKind::DiffOblivious { epsilon, delta, seed } => {
+            let cells = concat_cells(updates);
+            dobliv::aggregate_dobliv(&cells, d, n, epsilon, delta, seed, tr)
+        }
+    }
+}
+
+/// Untraced dense reference sum (ground truth for tests): the exact value
+/// every oblivious algorithm must reproduce.
+pub fn reference_average(updates: &[SparseGradient], d: usize) -> Vec<f32> {
+    let mut sum = vec![0.0f32; d];
+    for u in updates {
+        for (&i, &v) in u.indices.iter().zip(u.values.iter()) {
+            sum[i as usize] += v;
+        }
+    }
+    let inv = 1.0 / updates.len() as f32;
+    for s in &mut sum {
+        *s *= inv;
+    }
+    sum
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use olive_fl::SparseGradient;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Random sparse updates: n clients, k of d coordinates each,
+    /// duplicate indices across clients guaranteed possible.
+    pub fn random_updates(n: usize, k: usize, d: usize, seed: u64) -> Vec<SparseGradient> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut idxs: Vec<u32> = (0..d as u32).collect();
+                for t in 0..k {
+                    let j = rng.gen_range(t..d);
+                    idxs.swap(t, j);
+                }
+                let mut indices: Vec<u32> = idxs[..k].to_vec();
+                indices.sort_unstable();
+                let values = (0..k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+                SparseGradient { dense_dim: d, indices, values }
+            })
+            .collect()
+    }
+
+    pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() <= tol, "coordinate {i}: {x} vs {y}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+    use olive_memsim::NullTracer;
+
+    /// Every aggregator agrees with the dense reference on random input —
+    /// the master correctness test.
+    #[test]
+    fn all_aggregators_match_reference() {
+        let d = 64;
+        let updates = random_updates(7, 9, d, 99);
+        let expected = reference_average(&updates, d);
+        let kinds = [
+            AggregatorKind::NonOblivious,
+            AggregatorKind::Baseline { cacheline_weights: 16 },
+            AggregatorKind::Baseline { cacheline_weights: 1 },
+            AggregatorKind::Advanced,
+            AggregatorKind::Grouped { h: 2 },
+            AggregatorKind::Grouped { h: 7 },
+            AggregatorKind::PathOram { posmap: olive_oram::PosMapKind::LinearScan },
+            AggregatorKind::DiffOblivious { epsilon: 1.0, delta: 1e-4, seed: 5 },
+        ];
+        for kind in kinds {
+            let got = aggregate(kind, &updates, d, &mut NullTracer);
+            assert_close(&got, &expected, 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut updates = random_updates(2, 3, 16, 1);
+        updates[1].dense_dim = 8;
+        aggregate(AggregatorKind::Advanced, &updates, 16, &mut NullTracer);
+    }
+
+    #[test]
+    #[should_panic(expected = "no updates")]
+    fn empty_updates_panics() {
+        aggregate(AggregatorKind::Advanced, &[], 16, &mut NullTracer);
+    }
+}

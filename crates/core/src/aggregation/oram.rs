@@ -1,0 +1,100 @@
+//! ORAM-based aggregation: the general-purpose comparator (Section 5
+//! intro; the PathORAM bars of Figure 9).
+//!
+//! Initialize an ORAM holding the `d` aggregate slots, apply each incoming
+//! cell as an oblivious read-modify-write at its index, then read all `d`
+//! slots back. Asymptotically O(nk·log d) ORAM accesses — but each access
+//! costs a full path read/write plus oblivious stash scans and (under the
+//! SGX model) position-map work, the constant factor that Figure 9 shows
+//! dwarfing the task-specific Advanced algorithm.
+
+use olive_memsim::{TrackedBuf, Tracer};
+use olive_oram::{PathOram, PathOramConfig, PosMapKind};
+
+use crate::cell::{cell_index, cell_value};
+use crate::regions::{REGION_G, REGION_G_STAR, REGION_ORAM_BASE};
+
+use super::linear::average_in_place;
+
+/// Aggregates via a PathORAM over the `d` aggregate slots.
+pub fn aggregate_oram<TR: Tracer>(
+    cells: &[u64],
+    d: usize,
+    n: usize,
+    posmap: PosMapKind,
+    tr: &mut TR,
+) -> Vec<f32> {
+    let g = TrackedBuf::new(REGION_G, cells.to_vec());
+    let mut oram = PathOram::<u64>::new(
+        PathOramConfig {
+            capacity: d,
+            stash_limit: 20, // the paper's Section 5.5 configuration
+            posmap,
+            region_base: REGION_ORAM_BASE,
+        },
+        0xA11CE,
+    );
+    for i in 0..g.len() {
+        let cell = g.read(i, tr);
+        let idx = cell_index(cell);
+        let val = cell_value(cell);
+        // Oblivious fetch-add: values are stored as f32 bits in the u64.
+        oram.update(idx, move |old| (f32::from_bits(old as u32) + val).to_bits() as u64, tr);
+    }
+    let mut gstar = TrackedBuf::<f32>::zeroed(REGION_G_STAR, d);
+    for j in 0..d {
+        let bits = oram.read(j as u32, tr);
+        gstar.write(j, f32::from_bits(bits as u32), tr);
+    }
+    average_in_place(&mut gstar, n, tr);
+    gstar.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::reference_average;
+    use crate::aggregation::test_support::*;
+    use crate::cell::concat_cells;
+    use olive_memsim::{Granularity, NullTracer, RecordingTracer};
+
+    #[test]
+    fn matches_reference_all_posmaps() {
+        let updates = random_updates(4, 5, 32, 30);
+        let expected = reference_average(&updates, 32);
+        for posmap in [PosMapKind::Trusted, PosMapKind::LinearScan, PosMapKind::Recursive] {
+            let got =
+                aggregate_oram(&concat_cells(&updates), 32, 4, posmap, &mut NullTracer);
+            assert_close(&got, &expected, 1e-4);
+        }
+    }
+
+    #[test]
+    fn trace_shape_is_data_independent() {
+        // PathORAM is statistically oblivious: exact traces vary with the
+        // (public) path randomness, but op counts are fixed by shape.
+        let count = |seed: u64| {
+            let updates = random_updates(3, 4, 16, seed);
+            let mut tr = RecordingTracer::new(Granularity::Element);
+            aggregate_oram(&concat_cells(&updates), 16, 3, PosMapKind::LinearScan, &mut tr);
+            (tr.stats().reads, tr.stats().writes)
+        };
+        assert_eq!(count(1), count(2));
+    }
+
+    #[test]
+    fn repeated_index_accumulates() {
+        use olive_fl::SparseGradient;
+        let updates: Vec<SparseGradient> = (0..3)
+            .map(|_| SparseGradient { dense_dim: 8, indices: vec![1], values: vec![2.0] })
+            .collect();
+        let got = aggregate_oram(
+            &concat_cells(&updates),
+            8,
+            3,
+            PosMapKind::LinearScan,
+            &mut NullTracer,
+        );
+        assert!((got[1] - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,39 @@
+//! # olive-core
+//!
+//! The paper's primary contribution: **Olive**, oblivious federated
+//! learning on a (simulated) server-side TEE.
+//!
+//! Two halves:
+//!
+//! * [`aggregation`] — the server-side aggregation algorithms over
+//!   sparsified gradients, each instrumented for memory-access tracing:
+//!   - [`aggregation::linear`]: the general FL aggregation (Algorithm 5).
+//!     Fully oblivious for dense gradients (Proposition 3.1), **leaky**
+//!     for sparsified gradients (Proposition 3.2) — the vulnerability the
+//!     whole paper is about;
+//!   - [`aggregation::baseline`]: Algorithm 3, dummy-access-everything,
+//!     cacheline-level fully oblivious (Proposition 5.1), O(nkd/c);
+//!   - [`aggregation::advanced`]: Algorithm 4, zero-seeding + oblivious
+//!     sort + oblivious fold + oblivious sort, fully oblivious
+//!     (Proposition 5.2), O((nk+d)·log²(nk+d));
+//!   - [`aggregation::grouped`]: the Section 5.3 optimization — process
+//!     clients in groups of `h` so the sort working set fits cache/EPC;
+//!   - [`aggregation::oram`]: the PathORAM/ZeroTrace comparator;
+//!   - [`aggregation::dobliv`]: the Section 5.4 differentially-oblivious
+//!     relaxation (dummy padding + oblivious shuffle + linear pass);
+//! * [`olive`] — the full system of Algorithm 1 / Algorithm 6: remote
+//!   attestation, encrypted gradient upload, in-enclave verification and
+//!   decryption, oblivious aggregation, optional central-DP noising, and
+//!   the signed global-model update.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregation;
+pub mod cell;
+pub mod olive;
+pub mod regions;
+
+pub use aggregation::{aggregate, AggregatorKind};
+pub use cell::{cell_index, cell_value, make_cell, DUMMY_INDEX};
+pub use olive::{OliveConfig, OliveSystem, RoundReport};

@@ -1,0 +1,426 @@
+//! The Olive system: Algorithm 1 (and its DP variant, Algorithm 6)
+//! end-to-end on the simulated TEE.
+//!
+//! Round flow, mirroring the paper line by line:
+//! 1. provisioning — every client remote-attests the enclave and derives a
+//!    per-user AES-GCM session key (line 1);
+//! 2. each round, the enclave samples participants `Q_t` (line 5);
+//! 3. sampled clients locally train, top-k sparsify, optionally clip, and
+//!    encrypt their deltas (lines 7, 15–23);
+//! 4. the enclave verifies membership and authenticity, decrypts
+//!    (lines 8–11), and aggregates **obliviously** (line 12) — under the
+//!    chosen [`AggregatorKind`], with every adversary-visible access
+//!    reported to the caller's [`Tracer`];
+//! 5. in DP mode the enclave perturbs the aggregate with Gaussian noise
+//!    calibrated to (σ, C) before it leaves the enclave (Algorithm 6
+//!    line 12), and the RDP accountant tracks the spent budget;
+//! 6. the update is applied to the global model and the enclave signs the
+//!    result so clients can detect server-side tampering (Section 5.6).
+
+use olive_data::ClientData;
+use olive_dp::{GaussianMechanism, RdpAccountant};
+use olive_fl::{local_update, sample_clients, ClientConfig, FedAvgServer, SparseGradient};
+use olive_memsim::Tracer;
+use olive_nn::Model;
+use olive_tee::{AttestationService, ClientSession, Enclave, EnclaveConfig, SealedMessage, UserId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::aggregation::{aggregate, AggregatorKind};
+
+/// Central-DP configuration (Algorithm 6).
+#[derive(Clone, Copy, Debug)]
+pub struct DpConfig {
+    /// Noise multiplier σ.
+    pub sigma: f64,
+    /// ℓ2 clipping bound C.
+    pub clip: f32,
+    /// Target δ for ε reporting.
+    pub delta: f64,
+}
+
+/// System configuration.
+#[derive(Clone, Debug)]
+pub struct OliveConfig {
+    /// Total registered clients N.
+    pub n_clients: usize,
+    /// Per-round sampling rate q.
+    pub sample_rate: f64,
+    /// Client-side training hyperparameters (includes the sparsifier).
+    pub client: ClientConfig,
+    /// Which in-enclave aggregation algorithm to run.
+    pub aggregator: AggregatorKind,
+    /// Server learning rate η_s.
+    pub server_lr: f32,
+    /// Enable Algorithm 6 (client clipping + enclave Gaussian noise).
+    pub dp: Option<DpConfig>,
+    /// Master seed (sampling, training batch order, DP noise).
+    pub seed: u64,
+}
+
+/// What one round produced — including everything the *adversary* gets
+/// (the processing order of users, needed by the attack's trace parser).
+#[derive(Clone, Debug)]
+pub struct RoundReport {
+    /// Round counter t.
+    pub round: u64,
+    /// Users processed, in upload-processing order (public to the server).
+    pub processed_users: Vec<UserId>,
+    /// Per-user transmitted k (public: ciphertext length reveals it).
+    pub k_per_user: usize,
+    /// Cumulative (ε, δ)-DP spent, if DP mode is on.
+    pub epsilon_spent: Option<f64>,
+    /// Enclave working-set bytes for the aggregation scratch.
+    pub working_set_bytes: u64,
+    /// Whether that working set exceeds the configured EPC.
+    pub would_page: bool,
+    /// Enclave signature over the updated global parameters.
+    pub model_signature: [u8; 32],
+}
+
+/// The running system: server + enclave + provisioned clients.
+pub struct OliveSystem {
+    /// The FedAvg server (global model lives here).
+    pub server: FedAvgServer,
+    enclave: Enclave,
+    sessions: Vec<ClientSession>,
+    clients: Vec<ClientData>,
+    scratch: Model,
+    cfg: OliveConfig,
+    rng: SmallRng,
+    round: u64,
+    accountant: RdpAccountant,
+}
+
+impl OliveSystem {
+    /// Provisions the system: launches the enclave, runs remote
+    /// attestation with every client, and registers the session keys
+    /// (Algorithm 1 line 1). Panics if any client rejects the enclave —
+    /// in the simulation that indicates a harness bug.
+    pub fn new(model: Model, clients: Vec<ClientData>, cfg: OliveConfig) -> Self {
+        assert_eq!(clients.len(), cfg.n_clients, "client shards vs n_clients mismatch");
+        let mut seed_bytes = [0u8; 32];
+        seed_bytes[..8].copy_from_slice(&cfg.seed.to_be_bytes());
+        let service = AttestationService::new(seed_bytes);
+        let mut enclave = Enclave::launch(&EnclaveConfig::default(), seed_bytes);
+        let quote = enclave.attest(&service, b"olive-fl-v1");
+        let measurement = enclave.measurement();
+        let sessions: Vec<ClientSession> = clients
+            .iter()
+            .map(|c| {
+                let mut cs = seed_bytes;
+                cs[24..28].copy_from_slice(&c.user.to_be_bytes());
+                cs[28] ^= 0xC1;
+                let session = ClientSession::establish(
+                    c.user,
+                    service.public_key(),
+                    &measurement,
+                    &quote,
+                    cs,
+                )
+                .expect("attestation must succeed in the simulation");
+                enclave.register_client(c.user, session.dh_public());
+                session
+            })
+            .collect();
+        let scratch = model.clone();
+        let server = FedAvgServer::new(model, cfg.server_lr);
+        let rng = SmallRng::seed_from_u64(cfg.seed ^ 0x011F_E5EED);
+        OliveSystem {
+            server,
+            enclave,
+            sessions,
+            clients,
+            scratch,
+            cfg,
+            rng,
+            round: 0,
+            accountant: RdpAccountant::new(),
+        }
+    }
+
+    /// The current global parameters θ_t.
+    pub fn global_params(&self) -> Vec<f32> {
+        self.server.params()
+    }
+
+    /// Model dimension d.
+    pub fn dim(&self) -> usize {
+        self.server.dim()
+    }
+
+    /// The label set of a client (ground truth for attack evaluation —
+    /// *not* visible to the adversary).
+    pub fn client_label_set(&self, user: UserId) -> &[usize] {
+        &self.clients[user as usize].label_set
+    }
+
+    /// Runs one full round (Algorithm 1 lines 4–14 / Algorithm 6),
+    /// reporting the enclave's memory accesses during aggregation to `tr`.
+    pub fn run_round<TR: Tracer>(&mut self, tr: &mut TR) -> RoundReport {
+        let t = self.round;
+        // Line 5: secure in-enclave sampling.
+        let sampled = sample_clients(self.cfg.n_clients, self.cfg.sample_rate, &mut self.rng);
+        self.enclave.begin_round(sampled.clone());
+
+        // Lines 7 + 15–23: local training, sparsify, clip, encrypt.
+        let global = self.server.params();
+        let mut client_cfg = self.cfg.client;
+        if let Some(dp) = self.cfg.dp {
+            client_cfg.clip = Some(dp.clip);
+        }
+        let local_results = self.train_sampled(&sampled, &global, &client_cfg, t);
+
+        // Lines 8–11: upload, verify, decrypt inside the enclave.
+        let mut updates: Vec<SparseGradient> = Vec::with_capacity(sampled.len());
+        for (&user, sparse) in sampled.iter().zip(local_results.iter()) {
+            let msg: SealedMessage =
+                self.sessions[user as usize].seal_upload(t, &sparse.encode());
+            let plain = self
+                .enclave
+                .open_upload(&msg)
+                .expect("sampled, registered, fresh uploads must verify");
+            updates.push(SparseGradient::decode(&plain).expect("well-formed client encoding"));
+        }
+
+        // Line 12: oblivious aggregation under the adversary's tracer.
+        let d = self.server.dim();
+        let n = updates.len();
+        let k = updates.first().map(|u| u.k()).unwrap_or(0);
+        let ws = working_set_bytes(self.cfg.aggregator, n, k, d);
+        self.enclave.epc.alloc(ws);
+        let mut delta = aggregate(self.cfg.aggregator, &updates, d, tr);
+        self.enclave.epc.free(ws);
+
+        // Algorithm 6 line 12: enclave-side Gaussian perturbation. The
+        // aggregate() above divides by the realized n; Algorithm 6 scales
+        // by qN, so rescale before noising.
+        let epsilon_spent = if let Some(dp) = self.cfg.dp {
+            let qn = (self.cfg.sample_rate * self.cfg.n_clients as f64) as f32;
+            let rescale = n as f32 / qn.max(1.0);
+            for x in &mut delta {
+                *x *= rescale;
+            }
+            let mech = GaussianMechanism::new(dp.sigma / qn.max(1.0) as f64, dp.clip);
+            mech.perturb(&mut delta, &mut self.rng);
+            self.accountant.add_subsampled_gaussian(self.cfg.sample_rate, dp.sigma, 1);
+            Some(self.accountant.epsilon(dp.delta))
+        } else {
+            None
+        };
+
+        // Line 14: global update + enclave signature (Section 5.6).
+        self.server.apply_aggregate(&delta);
+        let new_params = self.server.params();
+        let mut payload = Vec::with_capacity(new_params.len() * 4 + 8);
+        payload.extend_from_slice(&t.to_be_bytes());
+        for p in &new_params {
+            payload.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        let model_signature = self.enclave.sign_output(&payload);
+
+        self.round += 1;
+        RoundReport {
+            round: t,
+            processed_users: sampled,
+            k_per_user: k,
+            epsilon_spent,
+            working_set_bytes: ws,
+            would_page: ws > (96 << 20),
+            model_signature,
+        }
+    }
+
+    /// Local training for the sampled users, parallelized across threads
+    /// (client-side compute, outside the enclave).
+    fn train_sampled(
+        &mut self,
+        sampled: &[UserId],
+        global: &[f32],
+        client_cfg: &ClientConfig,
+        round: u64,
+    ) -> Vec<SparseGradient> {
+        let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+        if sampled.len() < 4 || n_threads == 1 {
+            return sampled
+                .iter()
+                .map(|&user| {
+                    let data = &self.clients[user as usize].dataset;
+                    local_update(
+                        &mut self.scratch,
+                        global,
+                        data,
+                        client_cfg,
+                        self.cfg.seed ^ (round << 20) ^ user as u64,
+                    )
+                })
+                .collect();
+        }
+        let clients = &self.clients;
+        let template = &self.scratch;
+        let seed = self.cfg.seed;
+        let mut results: Vec<Option<SparseGradient>> = vec![None; sampled.len()];
+        let chunk = sampled.len().div_ceil(n_threads);
+        std::thread::scope(|scope| {
+            for (slot_chunk, user_chunk) in results.chunks_mut(chunk).zip(sampled.chunks(chunk)) {
+                scope.spawn(move || {
+                    let mut model = template.clone();
+                    for (slot, &user) in slot_chunk.iter_mut().zip(user_chunk.iter()) {
+                        let data = &clients[user as usize].dataset;
+                        *slot = Some(local_update(
+                            &mut model,
+                            global,
+                            data,
+                            client_cfg,
+                            seed ^ (round << 20) ^ user as u64,
+                        ));
+                    }
+                });
+            }
+        });
+        results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    }
+
+    /// Verifies an enclave model signature (what a client would do).
+    pub fn verify_model_signature(&self, round: u64, params: &[f32], sig: &[u8; 32]) -> bool {
+        let mut payload = Vec::with_capacity(params.len() * 4 + 8);
+        payload.extend_from_slice(&round.to_be_bytes());
+        for p in params {
+            payload.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        self.enclave.verify_output(&payload, sig)
+    }
+}
+
+/// Scratch working-set estimate (bytes) for each aggregator — what the
+/// enclave allocates beyond the d-cell output (drives the EPC/grouping
+/// analysis of Sections 5.3 and 5.5, e.g. the paper's 122 MB at N = 10⁴).
+/// `n` is the participant count and `k` the per-client cell count.
+pub fn working_set_bytes(kind: AggregatorKind, n: usize, k: usize, d: usize) -> u64 {
+    let cell = 8u64;
+    let nk = n * k;
+    match kind {
+        AggregatorKind::NonOblivious => nk as u64 * cell + d as u64 * 4,
+        AggregatorKind::Baseline { cacheline_weights } => {
+            nk as u64 * cell + (d.div_ceil(cacheline_weights) * cacheline_weights) as u64 * 4
+        }
+        AggregatorKind::Advanced => ((nk + d).next_power_of_two() as u64) * cell + d as u64 * 4,
+        AggregatorKind::Grouped { h } => {
+            // One group's sort vector in flight at a time + the running
+            // total (Section 5.3: this is exactly what the optimization
+            // shrinks below cache/EPC size).
+            let hk = h.max(1).min(n) * k;
+            let group_cells = (hk + d).next_power_of_two() as u64;
+            group_cells * cell + 2 * d as u64 * 4
+        }
+        AggregatorKind::PathOram { .. } => {
+            // Tree (2·leaves−1 buckets × Z slots × 16 B) + stash.
+            let leaves = d.next_power_of_two().max(2) as u64;
+            (2 * leaves - 1) * 4 * 16 + nk as u64 * cell
+        }
+        AggregatorKind::DiffOblivious { .. } => nk as u64 * cell * 2 + d as u64 * 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_data::synthetic::{Generator, SyntheticConfig};
+    use olive_data::{partition, LabelAssignment};
+    use olive_fl::Sparsifier;
+    use olive_memsim::NullTracer;
+    use olive_nn::zoo::mlp;
+
+    fn tiny_system(aggregator: AggregatorKind, dp: Option<DpConfig>) -> OliveSystem {
+        let gen = Generator::new(SyntheticConfig::tiny(12, 4), 3);
+        let clients = partition(&gen, 8, LabelAssignment::Fixed(2), 10, 1);
+        let model = mlp(12, 6, 4, 0.0, 5);
+        let d = model.param_count();
+        let cfg = OliveConfig {
+            n_clients: 8,
+            sample_rate: 0.5,
+            client: ClientConfig {
+                epochs: 1,
+                batch_size: 5,
+                lr: 0.1,
+                sparsifier: Sparsifier::TopK(d / 10),
+                clip: None,
+            },
+            aggregator,
+            server_lr: 1.0,
+            dp,
+            seed: 77,
+        };
+        OliveSystem::new(model, clients, cfg)
+    }
+
+    #[test]
+    fn round_runs_and_updates_model() {
+        let mut sys = tiny_system(AggregatorKind::Advanced, None);
+        let before = sys.global_params();
+        let report = sys.run_round(&mut NullTracer);
+        assert!(!report.processed_users.is_empty());
+        assert!(report.epsilon_spent.is_none());
+        let after = sys.global_params();
+        assert_ne!(before, after, "global model must move");
+        assert!(sys.verify_model_signature(0, &after, &report.model_signature));
+        assert!(!sys.verify_model_signature(0, &before, &report.model_signature));
+    }
+
+    #[test]
+    fn all_aggregators_produce_same_model() {
+        // With identical seeds, every oblivious aggregator must yield the
+        // same global trajectory as the non-oblivious reference.
+        let reference = {
+            let mut sys = tiny_system(AggregatorKind::NonOblivious, None);
+            sys.run_round(&mut NullTracer);
+            sys.global_params()
+        };
+        for kind in [
+            AggregatorKind::Baseline { cacheline_weights: 16 },
+            AggregatorKind::Advanced,
+            AggregatorKind::Grouped { h: 2 },
+        ] {
+            let mut sys = tiny_system(kind, None);
+            sys.run_round(&mut NullTracer);
+            let params = sys.global_params();
+            for (a, b) in reference.iter().zip(params.iter()) {
+                assert!((a - b).abs() < 1e-4, "{kind:?} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn dp_mode_reports_epsilon_and_noises() {
+        let dp = DpConfig { sigma: 1.12, clip: 0.5, delta: 1e-5 };
+        let mut sys = tiny_system(AggregatorKind::Advanced, Some(dp));
+        let r1 = sys.run_round(&mut NullTracer);
+        let e1 = r1.epsilon_spent.expect("dp mode reports epsilon");
+        let r2 = sys.run_round(&mut NullTracer);
+        let e2 = r2.epsilon_spent.unwrap();
+        assert!(e2 > e1, "budget accumulates: {e1} -> {e2}");
+    }
+
+    #[test]
+    fn rounds_progress_and_sampling_varies() {
+        let mut sys = tiny_system(AggregatorKind::Advanced, None);
+        let a = sys.run_round(&mut NullTracer);
+        let b = sys.run_round(&mut NullTracer);
+        assert_eq!(a.round, 0);
+        assert_eq!(b.round, 1);
+    }
+
+    #[test]
+    fn training_improves_global_model() {
+        let gen = Generator::new(SyntheticConfig::tiny(12, 4), 3);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let test = gen.sample_balanced(25, &mut rng);
+        let mut sys = tiny_system(AggregatorKind::Advanced, None);
+        let (loss0, _) = sys.server.model.evaluate(&test.features, &test.labels, 32);
+        for _ in 0..6 {
+            sys.run_round(&mut NullTracer);
+        }
+        let (loss1, _) = sys.server.model.evaluate(&test.features, &test.labels, 32);
+        assert!(loss1 < loss0, "loss {loss0} -> {loss1}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Region-id conventions for the adversary-visible buffers.
+//!
+//! The attack's trace parser relies on these being stable: the observer
+//! knows which buffer is which (base addresses are public), so region ids
+//! are part of the adversary's view.
+
+/// The concatenated client-gradient buffer `G = G₁ ∥ … ∥ Gₙ`.
+pub const REGION_G: u32 = 1;
+
+/// The dense aggregated-gradient buffer `G*`.
+pub const REGION_G_STAR: u32 = 2;
+
+/// The Advanced algorithm's sort/fold working vector.
+pub const REGION_SCRATCH: u32 = 3;
+
+/// Base region for the PathORAM comparator (tree/stash/posmap stack up
+/// from here).
+pub const REGION_ORAM_BASE: u32 = 16;

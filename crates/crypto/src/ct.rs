@@ -1,0 +1,58 @@
+//! Constant-time helpers.
+//!
+//! Branching on secret data inside an enclave is exactly the class of leak
+//! the paper defends against (Section 2.3), so even the host-side crypto
+//! avoids early-exit comparisons.
+
+/// Constant-time equality of two byte slices.
+///
+/// Returns `false` immediately on length mismatch (lengths are public), and
+/// otherwise examines every byte regardless of where the first difference
+/// occurs.
+#[inline]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Map 0 → true without a data-dependent branch on the accumulated bits.
+    usize::from(diff) == 0
+}
+
+/// Constant-time conditional byte-slice select: copies `on_true` into `out`
+/// when `flag` is true, `on_false` otherwise, always touching every byte of
+/// all three slices.
+pub fn ct_select(flag: bool, on_true: &[u8], on_false: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(on_true.len(), on_false.len());
+    debug_assert_eq!(on_true.len(), out.len());
+    let mask = (flag as u8).wrapping_neg(); // 0xFF or 0x00
+    for i in 0..out.len() {
+        out[i] = (on_true[i] & mask) | (on_false[i] & !mask);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"abc", b"abcd"));
+    }
+
+    #[test]
+    fn select_both_ways() {
+        let mut out = [0u8; 4];
+        ct_select(true, &[1, 2, 3, 4], &[5, 6, 7, 8], &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+        ct_select(false, &[1, 2, 3, 4], &[5, 6, 7, 8], &mut out);
+        assert_eq!(out, [5, 6, 7, 8]);
+    }
+}

@@ -1,0 +1,295 @@
+//! NIST SP 800-38D AES-GCM authenticated encryption.
+//!
+//! This is the AEAD used on the client→enclave secure channel (Algorithm 1
+//! lines 8, 11, 22 of the paper: gradients are encrypted under the per-user
+//! shared key established by remote attestation, and the enclave verifies
+//! and decrypts them inside the trust boundary).
+
+use crate::aes::Aes;
+use crate::ct::ct_eq;
+use crate::CryptoError;
+
+/// GCM nonce length in bytes (the 96-bit fast path).
+pub const NONCE_LEN: usize = 12;
+/// GCM authentication tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// The GHASH reduction constant R = 11100001 || 0^120.
+const R: u128 = 0xE100_0000_0000_0000_0000_0000_0000_0000;
+
+/// Multiplication in GF(2^128) as specified in SP 800-38D §6.3.
+///
+/// Blocks are interpreted big-endian with bit 0 the most significant bit of
+/// the first byte.
+fn gf_mul(x: u128, y: u128) -> u128 {
+    let mut z = 0u128;
+    let mut v = x;
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+fn block_to_u128(b: &[u8]) -> u128 {
+    let mut buf = [0u8; 16];
+    buf[..b.len()].copy_from_slice(b);
+    u128::from_be_bytes(buf)
+}
+
+/// GHASH over `aad` and `ciphertext` with hash subkey `h`.
+fn ghash(h: u128, aad: &[u8], ciphertext: &[u8]) -> u128 {
+    let mut y = 0u128;
+    for chunk in aad.chunks(16) {
+        y = gf_mul(y ^ block_to_u128(chunk), h);
+    }
+    for chunk in ciphertext.chunks(16) {
+        y = gf_mul(y ^ block_to_u128(chunk), h);
+    }
+    let lens = ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
+    gf_mul(y ^ lens, h)
+}
+
+/// An AES-GCM key.
+///
+/// ```
+/// use olive_crypto::gcm::AesGcm;
+/// let key = AesGcm::new(&[0x42; 16]).unwrap();
+/// let nonce = [7u8; 12];
+/// let ct = key.seal(&nonce, b"round-3 gradients", b"user-17");
+/// let pt = key.open(&nonce, &ct, b"user-17").unwrap();
+/// assert_eq!(pt, b"round-3 gradients");
+/// assert!(key.open(&nonce, &ct, b"user-18").is_err()); // AAD mismatch
+/// ```
+#[derive(Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    /// Hash subkey H = E_K(0^128).
+    h: u128,
+}
+
+impl AesGcm {
+    /// Creates a GCM instance from a 16/24/32-byte AES key.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        let aes = Aes::new(key)?;
+        let h = u128::from_be_bytes(aes.encrypt([0u8; 16]));
+        Ok(AesGcm { aes, h })
+    }
+
+    fn j0(&self, nonce: &[u8; NONCE_LEN]) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..NONCE_LEN].copy_from_slice(nonce);
+        j0[15] = 1;
+        j0
+    }
+
+    fn ctr_xor(&self, j0: &[u8; 16], data: &mut [u8]) {
+        let mut counter = u32::from_be_bytes(j0[12..16].try_into().unwrap());
+        for chunk in data.chunks_mut(16) {
+            counter = counter.wrapping_add(1);
+            let mut block = *j0;
+            block[12..16].copy_from_slice(&counter.to_be_bytes());
+            self.aes.encrypt_block(&mut block);
+            for (b, k) in chunk.iter_mut().zip(block.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    fn tag(&self, j0: &[u8; 16], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let s = ghash(self.h, aad, ciphertext);
+        let e = u128::from_be_bytes(self.aes.encrypt(*j0));
+        (s ^ e).to_be_bytes()
+    }
+
+    /// Encrypts `plaintext`, authenticating `aad` as well. Returns
+    /// `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let j0 = self.j0(nonce);
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        self.ctr_xor(&j0, &mut out);
+        let tag = self.tag(&j0, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts `ciphertext || tag` produced by [`Self::seal`].
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        ciphertext_and_tag: &[u8],
+        aad: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if ciphertext_and_tag.len() < TAG_LEN {
+            return Err(CryptoError::BadLength);
+        }
+        let (ciphertext, tag) = ciphertext_and_tag.split_at(ciphertext_and_tag.len() - TAG_LEN);
+        let j0 = self.j0(nonce);
+        let expected = self.tag(&j0, aad, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::BadTag);
+        }
+        let mut out = ciphertext.to_vec();
+        self.ctr_xor(&j0, &mut out);
+        Ok(out)
+    }
+}
+
+/// One-shot seal with a fresh instance (convenience for the TEE layer).
+pub fn seal(key: &[u8], nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+    AesGcm::new(key).expect("key length checked by caller").seal(nonce, plaintext, aad)
+}
+
+/// One-shot open with a fresh instance.
+pub fn open(
+    key: &[u8],
+    nonce: &[u8; NONCE_LEN],
+    ciphertext_and_tag: &[u8],
+    aad: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    AesGcm::new(key)?.open(nonce, ciphertext_and_tag, aad)
+}
+
+/// Error alias kept for API clarity at call sites.
+pub type GcmError = CryptoError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // NIST GCM spec (Appendix B) test cases 1-4 for AES-128 and case 13/14
+    // for AES-256.
+    #[test]
+    fn nist_case_1_empty() {
+        let g = AesGcm::new(&[0u8; 16]).unwrap();
+        let nonce = [0u8; 12];
+        let out = g.seal(&nonce, b"", b"");
+        assert_eq!(hex(&out), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    #[test]
+    fn nist_case_2_single_block() {
+        let g = AesGcm::new(&[0u8; 16]).unwrap();
+        let nonce = [0u8; 12];
+        let out = g.seal(&nonce, &from_hex("00000000000000000000000000000000"), b"");
+        assert_eq!(
+            hex(&out),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+        );
+    }
+
+    #[test]
+    fn nist_case_3_four_blocks() {
+        let key = from_hex("feffe9928665731c6d6a8f9467308308");
+        let nonce: [u8; 12] = from_hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = from_hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let g = AesGcm::new(&key).unwrap();
+        let out = g.seal(&nonce, &pt, b"");
+        assert_eq!(
+            hex(&out),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985\
+             4d5c2af327cd64a62cf35abd2ba6fab4"
+        );
+    }
+
+    #[test]
+    fn nist_case_4_with_aad() {
+        let key = from_hex("feffe9928665731c6d6a8f9467308308");
+        let nonce: [u8; 12] = from_hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = from_hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let g = AesGcm::new(&key).unwrap();
+        let out = g.seal(&nonce, &pt, &aad);
+        assert_eq!(
+            hex(&out),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091\
+             5bc94fbc3221a5db94fae95ae7121a47"
+        );
+        let back = g.open(&nonce, &out, &aad).unwrap();
+        assert_eq!(back, pt);
+    }
+
+    #[test]
+    fn nist_aes256_with_aad() {
+        // GCM spec test case 16.
+        let key = from_hex("feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308");
+        let nonce: [u8; 12] = from_hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = from_hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let g = AesGcm::new(&key).unwrap();
+        let out = g.seal(&nonce, &pt, &aad);
+        assert_eq!(
+            hex(&out),
+            "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa\
+             8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662\
+             76fc6ece0f4e1768cddf8853bb2d551b"
+        );
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let g = AesGcm::new(&[1u8; 16]).unwrap();
+        let nonce = [2u8; 12];
+        let mut ct = g.seal(&nonce, b"secret gradient payload", b"meta");
+        // Flip one bit anywhere: tag must fail.
+        for idx in [0usize, 5, ct.len() - 1] {
+            ct[idx] ^= 0x01;
+            assert_eq!(g.open(&nonce, &ct, b"meta").unwrap_err(), CryptoError::BadTag);
+            ct[idx] ^= 0x01;
+        }
+        assert!(g.open(&nonce, &ct, b"meta").is_ok());
+    }
+
+    #[test]
+    fn wrong_nonce_fails() {
+        let g = AesGcm::new(&[1u8; 16]).unwrap();
+        let ct = g.seal(&[2u8; 12], b"payload", b"");
+        assert!(g.open(&[3u8; 12], &ct, b"").is_err());
+    }
+
+    #[test]
+    fn too_short_ciphertext() {
+        let g = AesGcm::new(&[1u8; 16]).unwrap();
+        assert_eq!(g.open(&[0u8; 12], &[0u8; 7], b"").unwrap_err(), CryptoError::BadLength);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let g = AesGcm::new(&[9u8; 32]).unwrap();
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 255, 1024] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let nonce = [len as u8; 12];
+            let ct = g.seal(&nonce, &pt, b"aad");
+            assert_eq!(g.open(&nonce, &ct, b"aad").unwrap(), pt, "len {len}");
+        }
+    }
+}

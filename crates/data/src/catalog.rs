@@ -1,0 +1,132 @@
+//! The dataset catalog mirroring the paper's Table 1.
+
+use crate::synthetic::{Generator, SyntheticConfig};
+
+/// The four evaluation datasets (synthetic equivalents).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DatasetKind {
+    /// 28×28 grayscale, 10 classes (70,000 records / 10,000 test).
+    Mnist,
+    /// 32×32×3, 10 classes (60,000 records / 10,000 test).
+    Cifar10,
+    /// 600 binary features, 100 classes (144,000 / 24,000 test).
+    Purchase100,
+    /// 32×32×3, 100 classes (60,000 / 10,000 test).
+    Cifar100,
+}
+
+/// Static description of a Table 1 row.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// Which dataset.
+    pub kind: DatasetKind,
+    /// Display name.
+    pub name: &'static str,
+    /// Feature dimension.
+    pub feature_dim: usize,
+    /// Number of labels |L|.
+    pub num_classes: usize,
+    /// Paper's total record count (for the Table 1 printout).
+    pub paper_records: usize,
+    /// Paper's test-set size.
+    pub paper_test_records: usize,
+}
+
+impl DatasetKind {
+    /// The Table 1 row for this dataset.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            DatasetKind::Mnist => DatasetSpec {
+                kind: *self,
+                name: "MNIST",
+                feature_dim: 28 * 28,
+                num_classes: 10,
+                paper_records: 70_000,
+                paper_test_records: 10_000,
+            },
+            DatasetKind::Cifar10 => DatasetSpec {
+                kind: *self,
+                name: "CIFAR10",
+                feature_dim: 3 * 32 * 32,
+                num_classes: 10,
+                paper_records: 60_000,
+                paper_test_records: 10_000,
+            },
+            DatasetKind::Purchase100 => DatasetSpec {
+                kind: *self,
+                name: "Purchase100",
+                feature_dim: 600,
+                num_classes: 100,
+                paper_records: 144_000,
+                paper_test_records: 24_000,
+            },
+            DatasetKind::Cifar100 => DatasetSpec {
+                kind: *self,
+                name: "CIFAR100",
+                feature_dim: 3 * 32 * 32,
+                num_classes: 100,
+                paper_records: 60_000,
+                paper_test_records: 10_000,
+            },
+        }
+    }
+
+    /// The synthetic generator config equivalent to this dataset.
+    pub fn synthetic_config(&self) -> SyntheticConfig {
+        match self {
+            DatasetKind::Mnist => SyntheticConfig::mnist_like(),
+            DatasetKind::Cifar10 => SyntheticConfig::cifar10_like(),
+            DatasetKind::Purchase100 => SyntheticConfig::purchase100_like(),
+            DatasetKind::Cifar100 => SyntheticConfig::cifar100_like(),
+        }
+    }
+
+    /// Builds the deterministic generator for this dataset.
+    pub fn generator(&self, seed: u64) -> Generator {
+        Generator::new(self.synthetic_config(), seed)
+    }
+
+    /// All datasets in Table 1 order.
+    pub fn all() -> [DatasetKind; 4] {
+        [
+            DatasetKind::Mnist,
+            DatasetKind::Cifar10,
+            DatasetKind::Purchase100,
+            DatasetKind::Cifar100,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_paper_table1() {
+        let m = DatasetKind::Mnist.spec();
+        assert_eq!((m.feature_dim, m.num_classes, m.paper_records), (784, 10, 70_000));
+        let p = DatasetKind::Purchase100.spec();
+        assert_eq!((p.feature_dim, p.num_classes, p.paper_test_records), (600, 100, 24_000));
+    }
+
+    #[test]
+    fn configs_match_specs() {
+        for kind in DatasetKind::all() {
+            let spec = kind.spec();
+            let cfg = kind.synthetic_config();
+            assert_eq!(cfg.feature_dim, spec.feature_dim, "{}", spec.name);
+            assert_eq!(cfg.num_classes, spec.num_classes, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn generator_produces_expected_schema() {
+        use rand::SeedableRng;
+        let gen = DatasetKind::Mnist.generator(1);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let ds = gen.sample_balanced(1, &mut rng);
+        assert_eq!(ds.feature_dim, 784);
+        assert_eq!(ds.num_classes, 10);
+        assert_eq!(ds.len(), 10);
+    }
+}

@@ -1,0 +1,156 @@
+//! Non-IID federated partitioning (the paper's Section 4.2 client model).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::synthetic::{Dataset, Generator};
+
+/// How label subsets are assigned to clients.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LabelAssignment {
+    /// Every client holds exactly `k` labels; the attacker knows `k`
+    /// (the Figure 4 setting).
+    Fixed(usize),
+    /// Client `i` holds a uniform random number of labels in `1..=max`
+    /// (the harder Figure 5 setting, label-set size unknown).
+    Random(usize),
+}
+
+/// One client's local shard.
+#[derive(Clone, Debug)]
+pub struct ClientData {
+    /// The client / user id.
+    pub user: u32,
+    /// The sensitive label subset — the attack target.
+    pub label_set: Vec<usize>,
+    /// The client's local training data (drawn only from `label_set`).
+    pub dataset: Dataset,
+}
+
+/// Partitions a synthetic distribution into `n_clients` non-IID shards.
+///
+/// Each client receives a label subset per `assignment` and
+/// `samples_per_client` training points spread evenly over its labels.
+/// Deterministic in `seed`.
+pub fn partition(
+    generator: &Generator,
+    n_clients: usize,
+    assignment: LabelAssignment,
+    samples_per_client: usize,
+    seed: u64,
+) -> Vec<ClientData> {
+    let num_classes = generator.config().num_classes;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFEDE_7A7E);
+    let mut clients = Vec::with_capacity(n_clients);
+    for user in 0..n_clients {
+        let k = match assignment {
+            LabelAssignment::Fixed(k) => k,
+            LabelAssignment::Random(max) => rng.gen_range(1..=max.max(1)),
+        };
+        let k = k.min(num_classes);
+        // Sample k distinct labels (partial Fisher–Yates).
+        let mut labels: Vec<usize> = (0..num_classes).collect();
+        for t in 0..k {
+            let j = rng.gen_range(t..labels.len());
+            labels.swap(t, j);
+        }
+        let mut label_set: Vec<usize> = labels[..k].to_vec();
+        label_set.sort_unstable();
+
+        let mut dataset = Dataset {
+            features: Vec::new(),
+            labels: Vec::new(),
+            feature_dim: generator.config().feature_dim,
+            num_classes,
+        };
+        let base = samples_per_client / k;
+        let extra = samples_per_client % k;
+        for (i, &label) in label_set.iter().enumerate() {
+            let n = base + usize::from(i < extra);
+            if n > 0 {
+                let part = generator.sample_class(label, n, &mut rng);
+                dataset.concat(&part);
+            }
+        }
+        clients.push(ClientData { user: user as u32, label_set, dataset });
+    }
+    clients
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    fn generator() -> Generator {
+        Generator::new(SyntheticConfig::tiny(16, 6), 11)
+    }
+
+    #[test]
+    fn fixed_assignment_sizes() {
+        let clients = partition(&generator(), 10, LabelAssignment::Fixed(2), 12, 0);
+        assert_eq!(clients.len(), 10);
+        for c in &clients {
+            assert_eq!(c.label_set.len(), 2);
+            assert_eq!(c.dataset.len(), 12);
+            // Data only from the client's label set.
+            assert!(c.dataset.labels.iter().all(|l| c.label_set.contains(l)));
+            // Distinct labels.
+            assert_ne!(c.label_set[0], c.label_set[1]);
+        }
+    }
+
+    #[test]
+    fn random_assignment_sizes_in_range() {
+        let clients = partition(&generator(), 50, LabelAssignment::Random(4), 8, 1);
+        let mut seen_sizes = std::collections::HashSet::new();
+        for c in &clients {
+            assert!((1..=4).contains(&c.label_set.len()));
+            seen_sizes.insert(c.label_set.len());
+        }
+        assert!(seen_sizes.len() > 1, "random sizes should vary");
+    }
+
+    #[test]
+    fn sample_split_is_even() {
+        let clients = partition(&generator(), 4, LabelAssignment::Fixed(3), 10, 2);
+        for c in &clients {
+            // 10 samples over 3 labels → 4/3/3.
+            let mut counts: Vec<usize> = c
+                .label_set
+                .iter()
+                .map(|&l| c.dataset.labels.iter().filter(|&&x| x == l).count())
+                .collect();
+            counts.sort_unstable();
+            assert_eq!(counts, vec![3, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = partition(&generator(), 5, LabelAssignment::Fixed(2), 6, 7);
+        let b = partition(&generator(), 5, LabelAssignment::Fixed(2), 6, 7);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.label_set, y.label_set);
+            assert_eq!(x.dataset.features, y.dataset.features);
+        }
+        let c = partition(&generator(), 5, LabelAssignment::Fixed(2), 6, 8);
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.label_set != y.label_set));
+    }
+
+    #[test]
+    fn label_sets_vary_across_clients() {
+        let clients = partition(&generator(), 30, LabelAssignment::Fixed(2), 4, 3);
+        let distinct: std::collections::HashSet<Vec<usize>> =
+            clients.iter().map(|c| c.label_set.clone()).collect();
+        assert!(distinct.len() > 5, "non-IID assignment should differ across clients");
+    }
+
+    #[test]
+    fn oversized_fixed_assignment_clamped() {
+        let clients = partition(&generator(), 2, LabelAssignment::Fixed(99), 6, 4);
+        for c in &clients {
+            assert_eq!(c.label_set.len(), 6, "clamped to num_classes");
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Label-structured synthetic data generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled dataset with flat row-major features.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// `(n, feature_dim)` row-major feature matrix.
+    pub features: Vec<f32>,
+    /// One label per row.
+    pub labels: Vec<usize>,
+    /// Feature dimension.
+    pub feature_dim: usize,
+    /// Number of classes in the generating distribution.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The feature row of sample `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.features[i * self.feature_dim..(i + 1) * self.feature_dim]
+    }
+
+    /// Returns the subset with the given label (the attacker's `X_l`).
+    pub fn filter_label(&self, label: usize) -> Dataset {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..self.len() {
+            if self.labels[i] == label {
+                features.extend_from_slice(self.row(i));
+                labels.push(label);
+            }
+        }
+        Dataset { features, labels, feature_dim: self.feature_dim, num_classes: self.num_classes }
+    }
+
+    /// Random subsample of `per_label` rows per label (Figure 8's ablation
+    /// on attacker dataset size). Keeps class balance by construction.
+    pub fn subsample_per_label<R: Rng>(&self, per_label: usize, rng: &mut R) -> Dataset {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for l in 0..self.num_classes {
+            let idxs: Vec<usize> = (0..self.len()).filter(|&i| self.labels[i] == l).collect();
+            let take = per_label.min(idxs.len());
+            // Partial Fisher–Yates for an unbiased sample without replacement.
+            let mut pool = idxs;
+            for t in 0..take {
+                let j = rng.gen_range(t..pool.len());
+                pool.swap(t, j);
+                features.extend_from_slice(self.row(pool[t]));
+                labels.push(l);
+            }
+        }
+        Dataset { features, labels, feature_dim: self.feature_dim, num_classes: self.num_classes }
+    }
+
+    /// Concatenates two datasets with identical schema.
+    pub fn concat(&mut self, other: &Dataset) {
+        assert_eq!(self.feature_dim, other.feature_dim);
+        assert_eq!(self.num_classes, other.num_classes);
+        self.features.extend_from_slice(&other.features);
+        self.labels.extend_from_slice(&other.labels);
+    }
+}
+
+/// Parameters of the synthetic generator.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticConfig {
+    /// Feature dimension (e.g. 784 for the MNIST equivalent).
+    pub feature_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Fraction of coordinates where a class prototype is "active"
+    /// (distinct from the background); sparse activation is what gives each
+    /// class a characteristic gradient footprint.
+    pub active_fraction: f64,
+    /// Observation noise standard deviation.
+    pub noise_std: f64,
+    /// If true, features are binarized (the Purchase100 tabular style).
+    pub binary: bool,
+}
+
+impl SyntheticConfig {
+    /// MNIST-equivalent: 784 dims, 10 classes.
+    pub fn mnist_like() -> Self {
+        SyntheticConfig {
+            feature_dim: 28 * 28,
+            num_classes: 10,
+            active_fraction: 0.15,
+            noise_std: 0.25,
+            binary: false,
+        }
+    }
+
+    /// CIFAR10-equivalent: 3072 dims, 10 classes, noisier.
+    pub fn cifar10_like() -> Self {
+        SyntheticConfig {
+            feature_dim: 3 * 32 * 32,
+            num_classes: 10,
+            active_fraction: 0.10,
+            noise_std: 0.45,
+            binary: false,
+        }
+    }
+
+    /// CIFAR100-equivalent: 3072 dims, 100 classes.
+    pub fn cifar100_like() -> Self {
+        SyntheticConfig {
+            feature_dim: 3 * 32 * 32,
+            num_classes: 100,
+            active_fraction: 0.08,
+            noise_std: 0.45,
+            binary: false,
+        }
+    }
+
+    /// Purchase100-equivalent: 600 binary dims, 100 classes.
+    pub fn purchase100_like() -> Self {
+        SyntheticConfig {
+            feature_dim: 600,
+            num_classes: 100,
+            active_fraction: 0.2,
+            noise_std: 0.0,
+            binary: true,
+        }
+    }
+
+    /// A tiny config for fast tests: `dim` features, `classes` classes.
+    pub fn tiny(dim: usize, classes: usize) -> Self {
+        SyntheticConfig {
+            feature_dim: dim,
+            num_classes: classes,
+            active_fraction: 0.3,
+            noise_std: 0.2,
+            binary: false,
+        }
+    }
+}
+
+/// Standard normal sample via Box–Muller (rand 0.8 without rand_distr).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Class-prototype generator: holds the per-class structure so train and
+/// test sets (and the attacker's pool) come from one distribution.
+pub struct Generator {
+    config: SyntheticConfig,
+    /// `(num_classes, feature_dim)` prototypes.
+    prototypes: Vec<f32>,
+}
+
+impl Generator {
+    /// Builds class prototypes deterministically from `seed`.
+    pub fn new(config: SyntheticConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_DA7A);
+        let mut prototypes = vec![0.0f32; config.num_classes * config.feature_dim];
+        for c in 0..config.num_classes {
+            let row = &mut prototypes[c * config.feature_dim..(c + 1) * config.feature_dim];
+            for v in row.iter_mut() {
+                if rng.gen::<f64>() < config.active_fraction {
+                    // Active coordinate: a strong class-specific signal.
+                    *v = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                }
+            }
+        }
+        Generator { config, prototypes }
+    }
+
+    /// The generator's config.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+
+    /// Samples `n` points of class `label`.
+    pub fn sample_class<R: Rng>(&self, label: usize, n: usize, rng: &mut R) -> Dataset {
+        assert!(label < self.config.num_classes);
+        let d = self.config.feature_dim;
+        let proto = &self.prototypes[label * d..(label + 1) * d];
+        let mut features = Vec::with_capacity(n * d);
+        for _ in 0..n {
+            for &p in proto {
+                let raw = p as f64 + self.config.noise_std * gaussian(rng);
+                let v = if self.config.binary {
+                    // Bernoulli on the signal: active coords mostly 1.
+                    if rng.gen::<f64>() < 0.5 + 0.45 * p as f64 { 1.0 } else { 0.0 }
+                } else {
+                    raw as f32
+                };
+                features.push(v);
+            }
+        }
+        Dataset {
+            features,
+            labels: vec![label; n],
+            feature_dim: d,
+            num_classes: self.config.num_classes,
+        }
+    }
+
+    /// Samples a balanced dataset of `per_class` points per class (the
+    /// global test pool the semi-honest server holds for validation).
+    pub fn sample_balanced<R: Rng>(&self, per_class: usize, rng: &mut R) -> Dataset {
+        let mut out = Dataset {
+            features: Vec::new(),
+            labels: Vec::new(),
+            feature_dim: self.config.feature_dim,
+            num_classes: self.config.num_classes,
+        };
+        for c in 0..self.config.num_classes {
+            let part = self.sample_class(c, per_class, rng);
+            out.concat(&part);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let gen = Generator::new(SyntheticConfig::tiny(20, 4), 42);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ds = gen.sample_balanced(5, &mut rng);
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.features.len(), 20 * 20);
+        let gen2 = Generator::new(SyntheticConfig::tiny(20, 4), 42);
+        let mut rng2 = SmallRng::seed_from_u64(1);
+        let ds2 = gen2.sample_balanced(5, &mut rng2);
+        assert_eq!(ds.features, ds2.features, "same seeds, same data");
+    }
+
+    #[test]
+    fn classes_are_separated() {
+        // Mean intra-class distance must be well below inter-class distance,
+        // otherwise no model (and no attack) could work.
+        let gen = Generator::new(SyntheticConfig::tiny(50, 3), 7);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let a1 = gen.sample_class(0, 1, &mut rng);
+        let a2 = gen.sample_class(0, 1, &mut rng);
+        let b = gen.sample_class(1, 1, &mut rng);
+        let dist = |x: &[f32], y: &[f32]| -> f32 {
+            x.iter().zip(y).map(|(a, b)| (a - b).powi(2)).sum::<f32>().sqrt()
+        };
+        let intra = dist(a1.row(0), a2.row(0));
+        let inter = dist(a1.row(0), b.row(0));
+        assert!(inter > intra * 1.5, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn filter_label_selects_only_that_label() {
+        let gen = Generator::new(SyntheticConfig::tiny(10, 3), 1);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let ds = gen.sample_balanced(4, &mut rng);
+        let only1 = ds.filter_label(1);
+        assert_eq!(only1.len(), 4);
+        assert!(only1.labels.iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn subsample_respects_per_label_budget() {
+        let gen = Generator::new(SyntheticConfig::tiny(10, 5), 1);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let ds = gen.sample_balanced(10, &mut rng);
+        let small = ds.subsample_per_label(3, &mut rng);
+        assert_eq!(small.len(), 15);
+        for l in 0..5 {
+            assert_eq!(small.labels.iter().filter(|&&x| x == l).count(), 3);
+        }
+    }
+
+    #[test]
+    fn purchase_like_is_binary() {
+        let gen = Generator::new(SyntheticConfig::purchase100_like(), 1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let ds = gen.sample_class(3, 10, &mut rng);
+        assert!(ds.features.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # olive-dp
+//!
+//! Differential privacy machinery for DP-FL in Olive (the paper's
+//! Appendix D: client-level CDP-FL with top-k sparsification on a TEE).
+//!
+//! * [`mechanism`] — ℓ2 clipping and the Gaussian mechanism
+//!   `N(0, σ²C²I_d)` applied to the aggregate **inside the enclave**
+//!   (Algorithm 6 line 12);
+//! * [`accountant`] — Rényi-DP accounting: the subsampled-Gaussian bound
+//!   of Lemma D.7 (Wang et al.), RDP composition (Lemma D.4), conversion
+//!   to (ε, δ)-DP (Lemma D.5), and noise calibration including the paper's
+//!   closed-form Theorem D.8
+//!   `σ² ≥ 7 q² T (ε + 2 log(1/δ)) / ε²`.
+//!
+//! A key point the paper makes (Appendix D.2): with *client-specific*
+//! top-k sparsification the noise must still cover all `d` coordinates —
+//! there is no O(k/d) noise reduction — because any coordinate of the
+//! global model may be updated. The mechanism here therefore perturbs the
+//! dense aggregate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod mechanism;
+
+pub use accountant::{
+    calibrate_sigma, epsilon_for, rdp_gaussian, rdp_subsampled_gaussian,
+    rdp_subsampled_gaussian_lemma_d7, sigma_theorem_d8, RdpAccountant,
+};
+pub use mechanism::{clip_l2, gaussian_noise_vec, l2_norm, GaussianMechanism};

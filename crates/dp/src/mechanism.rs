@@ -1,0 +1,121 @@
+//! ℓ2 clipping and the Gaussian mechanism.
+
+use rand::Rng;
+
+/// Euclidean norm of a vector.
+pub fn l2_norm(v: &[f32]) -> f32 {
+    (v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()).sqrt() as f32
+}
+
+/// ℓ2-clips `v` in place to norm at most `c`
+/// (Algorithm 6 line 22: `Δ · min(1, C/‖Δ‖₂)`).
+pub fn clip_l2(v: &mut [f32], c: f32) {
+    assert!(c > 0.0, "clipping bound must be positive");
+    let norm = l2_norm(v);
+    if norm > c {
+        let scale = c / norm;
+        for x in v.iter_mut() {
+            *x *= scale;
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn std_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a `d`-dimensional N(0, std² I) noise vector.
+pub fn gaussian_noise_vec<R: Rng>(d: usize, std: f64, rng: &mut R) -> Vec<f32> {
+    (0..d).map(|_| (std_normal(rng) * std) as f32).collect()
+}
+
+/// The Gaussian mechanism with noise multiplier σ and sensitivity bound C:
+/// adds `N(0, σ²C²I_d)` (Algorithm 6 line 12).
+#[derive(Clone, Copy, Debug)]
+pub struct GaussianMechanism {
+    /// Noise multiplier σ (noise std divided by sensitivity).
+    pub sigma: f64,
+    /// ℓ2 sensitivity / clipping bound C.
+    pub clip: f32,
+}
+
+impl GaussianMechanism {
+    /// Creates the mechanism.
+    pub fn new(sigma: f64, clip: f32) -> Self {
+        assert!(sigma >= 0.0 && clip > 0.0);
+        GaussianMechanism { sigma, clip }
+    }
+
+    /// Perturbs `aggregate` in place.
+    pub fn perturb<R: Rng>(&self, aggregate: &mut [f32], rng: &mut R) {
+        if self.sigma == 0.0 {
+            return;
+        }
+        let std = self.sigma * self.clip as f64;
+        for x in aggregate.iter_mut() {
+            *x += (std_normal(rng) * std) as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn norm_and_clip() {
+        let mut v = vec![3.0f32, 4.0];
+        assert!((l2_norm(&v) - 5.0).abs() < 1e-6);
+        clip_l2(&mut v, 1.0);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-5);
+        assert!((v[0] / v[1] - 0.75).abs() < 1e-5, "direction preserved");
+    }
+
+    #[test]
+    fn clip_noop_when_within_bound() {
+        let mut v = vec![0.3f32, 0.4];
+        clip_l2(&mut v, 1.0);
+        assert_eq!(v, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn noise_moments() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let noise = gaussian_noise_vec(50_000, 2.0, &mut rng);
+        let mean: f64 = noise.iter().map(|&x| x as f64).sum::<f64>() / noise.len() as f64;
+        let var: f64 =
+            noise.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / noise.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn mechanism_noise_scales_with_clip() {
+        let mech = GaussianMechanism::new(1.0, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v = vec![0.0f32; 50_000];
+        mech.perturb(&mut v, &mut rng);
+        let var: f64 = v.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / v.len() as f64;
+        assert!((var - 4.0).abs() < 0.2, "σC = 2 → var 4, got {var}");
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mech = GaussianMechanism::new(0.0, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut v = vec![1.0f32, 2.0];
+        mech.perturb(&mut v, &mut rng);
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clip_rejected() {
+        clip_l2(&mut [1.0], 0.0);
+    }
+}

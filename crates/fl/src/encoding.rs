@@ -1,0 +1,182 @@
+//! Alternative sparse-index encodings (paper Section 3.3, "Generality
+//! and Limitation").
+//!
+//! The paper notes that the index-leak is independent of the wire
+//! encoding: some secure-aggregation schemes (refs. 24, 46) transmit the
+//! index set as a d-bit **bitmap** plus the k values, rather than
+//! `(index, value)` pairs — "but the same problem occurred during
+//! aggregation", because the server must decode back to positions before
+//! summing into the dense model. This module implements that encoding so
+//! the claim is testable: decode(bitmap) yields exactly the same cells,
+//! hence exactly the same access pattern, as the pair encoding.
+//!
+//! Quantization is likewise orthogonal (it changes values, never
+//! indices); [`quantize_stochastic`] implements the standard 8-bit
+//! stochastic quantizer to document that.
+
+use rand::Rng;
+
+use crate::sparse::SparseGradient;
+
+/// A bitmap-encoded sparse gradient: `⌈d/8⌉` index-presence bytes followed
+/// by the k values in index order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BitmapEncoded {
+    /// Dense dimension d.
+    pub dense_dim: usize,
+    /// d-bit presence map (bit i set ⇔ coordinate i transmitted).
+    pub bitmap: Vec<u8>,
+    /// The k values, ascending index order.
+    pub values: Vec<f32>,
+}
+
+impl BitmapEncoded {
+    /// Encodes a sparse gradient as bitmap + values.
+    pub fn encode(sg: &SparseGradient) -> Self {
+        let mut bitmap = vec![0u8; sg.dense_dim.div_ceil(8)];
+        for &i in &sg.indices {
+            bitmap[i as usize / 8] |= 1 << (i % 8);
+        }
+        BitmapEncoded { dense_dim: sg.dense_dim, bitmap, values: sg.values.clone() }
+    }
+
+    /// Decodes back to the `(index, value)` representation — this is what
+    /// the server must do before aggregation, and where the positions
+    /// re-materialize regardless of the wire format.
+    pub fn decode(&self) -> Option<SparseGradient> {
+        let mut indices = Vec::with_capacity(self.values.len());
+        for i in 0..self.dense_dim {
+            if self.bitmap[i / 8] >> (i % 8) & 1 == 1 {
+                indices.push(i as u32);
+            }
+        }
+        if indices.len() != self.values.len() {
+            return None; // bitmap popcount must equal the value count
+        }
+        Some(SparseGradient {
+            dense_dim: self.dense_dim,
+            indices,
+            values: self.values.clone(),
+        })
+    }
+
+    /// Wire size in bytes — the communication saving that motivates this
+    /// encoding when k > d/64 or so.
+    pub fn wire_bytes(&self) -> usize {
+        self.bitmap.len() + 4 * self.values.len()
+    }
+}
+
+/// 8-bit stochastic quantization of the values (indices untouched):
+/// each value moves to one of the two nearest grid points with
+/// probability proportional to proximity, making the quantizer unbiased.
+pub fn quantize_stochastic<R: Rng>(sg: &mut SparseGradient, rng: &mut R) {
+    let max = sg.values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if max == 0.0 {
+        return;
+    }
+    let levels = 127.0f32;
+    for v in &mut sg.values {
+        let scaled = *v / max * levels;
+        let floor = scaled.floor();
+        let frac = scaled - floor;
+        let q = floor + f32::from(rng.gen::<f32>() < frac);
+        *v = q / levels * max;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample() -> SparseGradient {
+        SparseGradient {
+            dense_dim: 20,
+            indices: vec![0, 7, 8, 19],
+            values: vec![0.5, -1.0, 2.0, -0.25],
+        }
+    }
+
+    #[test]
+    fn bitmap_roundtrip() {
+        let sg = sample();
+        let enc = BitmapEncoded::encode(&sg);
+        assert_eq!(enc.decode().unwrap(), sg);
+    }
+
+    #[test]
+    fn bitmap_rejects_count_mismatch() {
+        let mut enc = BitmapEncoded::encode(&sample());
+        enc.values.pop();
+        assert!(enc.decode().is_none());
+    }
+
+    #[test]
+    fn bitmap_exposes_identical_index_set() {
+        // The Section 3.3 claim in miniature: the decoded cells are
+        // byte-identical to the pair encoding's, so aggregation touches
+        // exactly the same G* addresses whatever the wire format.
+        let sg = sample();
+        let via_bitmap = BitmapEncoded::encode(&sg).decode().unwrap();
+        assert_eq!(via_bitmap.indices, sg.indices);
+        assert_eq!(via_bitmap.to_dense(), sg.to_dense());
+    }
+
+    #[test]
+    fn wire_size_tradeoff() {
+        // Bitmap wins when k is large relative to d/ (32+32 bits per pair).
+        let dense: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let heavy = SparseGradient::from_dense(
+            &dense,
+            crate::sparse::Sparsifier::TopK(128),
+            &mut rng,
+        );
+        let enc = BitmapEncoded::encode(&heavy);
+        assert!(enc.wire_bytes() < heavy.encode().len());
+    }
+
+    #[test]
+    fn quantization_changes_values_not_indices() {
+        let mut sg = sample();
+        let idx_before = sg.indices.clone();
+        let mut rng = SmallRng::seed_from_u64(1);
+        quantize_stochastic(&mut sg, &mut rng);
+        assert_eq!(sg.indices, idx_before);
+        // Values land on the 1/127 grid of the max magnitude.
+        let max = 2.0f32;
+        for v in &sg.values {
+            let grid = v / max * 127.0;
+            assert!((grid - grid.round()).abs() < 1e-4, "{v} off-grid");
+        }
+    }
+
+    #[test]
+    fn quantization_is_unbiased_in_expectation() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let true_val = 0.337f32;
+        let mut sum = 0.0f64;
+        let n = 4000;
+        for _ in 0..n {
+            let mut sg = SparseGradient {
+                dense_dim: 2,
+                indices: vec![0, 1],
+                values: vec![true_val, 1.0],
+            };
+            quantize_stochastic(&mut sg, &mut rng);
+            sum += sg.values[0] as f64;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - true_val as f64).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_gradient_quantizes_to_zero() {
+        let mut sg = SparseGradient { dense_dim: 4, indices: vec![1], values: vec![0.0] };
+        let mut rng = SmallRng::seed_from_u64(3);
+        quantize_stochastic(&mut sg, &mut rng);
+        assert_eq!(sg.values, vec![0.0]);
+    }
+}

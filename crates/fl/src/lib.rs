@@ -1,0 +1,29 @@
+//! # olive-fl
+//!
+//! The federated-learning stack: everything that happens *outside* the
+//! enclave in the paper's Algorithm 1 / Algorithm 6.
+//!
+//! * [`sparse`] — sparsified gradient encoding: the `(index, value)` pair
+//!   representation every client transmits (Section 2.1), with top-k,
+//!   random-k and threshold selection policies;
+//! * [`client`] — local training (`EncClient`): set global weights, run
+//!   local SGD epochs, compute the weight delta, sparsify, optionally
+//!   ℓ2-clip for DP;
+//! * [`server`] — client sampling and the FedAvg global update
+//!   `θ_{t+1} = θ_t + η_s Δ̃_t`, plus a *plain* (non-TEE, non-oblivious)
+//!   reference aggregator;
+//! * [`ldp`] — an LDP-FL baseline (client-side Gaussian noise) used by the
+//!   Table 2 trust/utility comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod encoding;
+pub mod ldp;
+pub mod server;
+pub mod sparse;
+
+pub use client::{local_update, ClientConfig};
+pub use server::{sample_clients, FedAvgServer};
+pub use sparse::{SparseGradient, Sparsifier};

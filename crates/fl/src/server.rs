@@ -1,0 +1,161 @@
+//! Server-side FedAvg machinery: client sampling and the global update.
+
+use olive_nn::Model;
+use rand::Rng;
+
+use crate::sparse::SparseGradient;
+
+/// Samples each of `n_total` users independently with probability `q`
+/// (Algorithm 6 line 5 — Poisson sampling, which is what the subsampled-RDP
+/// analysis assumes). Guarantees at least one participant by falling back
+/// to one uniform pick if the coin flips select nobody.
+pub fn sample_clients<R: Rng>(n_total: usize, q: f64, rng: &mut R) -> Vec<u32> {
+    let mut picked: Vec<u32> = (0..n_total as u32).filter(|_| rng.gen::<f64>() < q).collect();
+    if picked.is_empty() && n_total > 0 {
+        picked.push(rng.gen_range(0..n_total as u32));
+    }
+    picked
+}
+
+/// The FedAvg server state: the global model and the server learning rate.
+pub struct FedAvgServer {
+    /// The global model θ_t.
+    pub model: Model,
+    /// Server learning rate η_s (Algorithm 1 line 14).
+    pub server_lr: f32,
+}
+
+impl FedAvgServer {
+    /// Wraps an initialized model.
+    pub fn new(model: Model, server_lr: f32) -> Self {
+        FedAvgServer { model, server_lr }
+    }
+
+    /// The current global parameter vector θ_t.
+    pub fn params(&self) -> Vec<f32> {
+        self.model.get_params()
+    }
+
+    /// Model dimension d.
+    pub fn dim(&self) -> usize {
+        self.model.param_count()
+    }
+
+    /// The *plain* (non-TEE, non-oblivious) reference aggregation: densely
+    /// sums the sparse updates and averages by participant count. This is
+    /// the paper's linear algorithm semantics (Algorithm 5 lines 2–9) and
+    /// the ground truth the oblivious algorithms must reproduce.
+    pub fn aggregate_plain(&self, updates: &[SparseGradient]) -> Vec<f32> {
+        assert!(!updates.is_empty(), "no updates to aggregate");
+        let d = self.dim();
+        let mut sum = vec![0.0f32; d];
+        for u in updates {
+            assert_eq!(u.dense_dim, d, "update dimension mismatch");
+            for (&i, &v) in u.indices.iter().zip(u.values.iter()) {
+                sum[i as usize] += v;
+            }
+        }
+        let inv = 1.0 / updates.len() as f32;
+        for s in &mut sum {
+            *s *= inv;
+        }
+        sum
+    }
+
+    /// Applies an aggregated delta: `θ ← θ + η_s Δ̃`.
+    pub fn apply_aggregate(&mut self, aggregate: &[f32]) {
+        let mut params = self.model.get_params();
+        assert_eq!(aggregate.len(), params.len(), "aggregate dimension mismatch");
+        for (p, a) in params.iter_mut().zip(aggregate.iter()) {
+            *p += self.server_lr * a;
+        }
+        self.model.set_params(&params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Sparsifier;
+    use olive_nn::zoo::mlp;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_rate_statistics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let total: usize = (0..200).map(|_| sample_clients(1000, 0.1, &mut rng).len()).sum();
+        let mean = total as f64 / 200.0;
+        assert!((80.0..120.0).contains(&mean), "mean sample size {mean} vs expected 100");
+    }
+
+    #[test]
+    fn sampling_never_empty() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(!sample_clients(5, 0.01, &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn aggregate_plain_sums_and_averages() {
+        let server = FedAvgServer::new(mlp(4, 2, 2, 0.0, 0), 1.0);
+        let d = server.dim();
+        let mk = |idx: Vec<u32>, val: Vec<f32>| SparseGradient {
+            dense_dim: d,
+            indices: idx,
+            values: val,
+        };
+        let agg = server.aggregate_plain(&[mk(vec![0, 2], vec![1.0, 2.0]), mk(vec![2], vec![4.0])]);
+        assert_eq!(agg[0], 0.5);
+        assert_eq!(agg[2], 3.0);
+        assert!(agg[1] == 0.0 && agg[3] == 0.0);
+    }
+
+    #[test]
+    fn apply_aggregate_moves_params() {
+        let mut server = FedAvgServer::new(mlp(4, 2, 2, 0.0, 0), 0.5);
+        let before = server.params();
+        let delta = vec![1.0f32; server.dim()];
+        server.apply_aggregate(&delta);
+        let after = server.params();
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((a - b - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fed_round_improves_model() {
+        // One coarse FedAvg round on separable data should reduce loss.
+        use crate::client::{local_update, ClientConfig};
+        use olive_data::synthetic::{Generator, SyntheticConfig};
+        let gen = Generator::new(SyntheticConfig::tiny(12, 3), 2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let test = gen.sample_balanced(30, &mut rng);
+
+        let mut server = FedAvgServer::new(mlp(12, 8, 3, 0.0, 1), 1.0);
+        let cfg = ClientConfig {
+            epochs: 2,
+            batch_size: 5,
+            lr: 0.2,
+            sparsifier: Sparsifier::TopK(40),
+            clip: None,
+        };
+        let (loss_before, _) = server.model.evaluate(&test.features, &test.labels, 16);
+        let mut scratch = mlp(12, 8, 3, 0.0, 1);
+        for round in 0..5 {
+            let params = server.params();
+            let updates: Vec<SparseGradient> = (0..6)
+                .map(|c| {
+                    let data = gen.sample_class(c % 3, 15, &mut rng);
+                    local_update(&mut scratch, &params, &data, &cfg, round * 10 + c as u64)
+                })
+                .collect();
+            let agg = server.aggregate_plain(&updates);
+            server.apply_aggregate(&agg);
+        }
+        let (loss_after, acc) = server.model.evaluate(&test.features, &test.labels, 16);
+        assert!(loss_after < loss_before, "loss {loss_before} -> {loss_after}");
+        assert!(acc > 0.5, "accuracy {acc}");
+    }
+}

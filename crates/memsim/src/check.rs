@@ -1,0 +1,154 @@
+//! Executable obliviousness checks (Definition 2.1).
+//!
+//! An algorithm `M` is fully oblivious when for any two same-length inputs
+//! the access-pattern distributions coincide. The paper's algorithms are
+//! *deterministically* oblivious (δ = 0, no randomness in the pattern), so
+//! the check reduces to: run the algorithm on each input under a
+//! [`RecordingTracer`] and require byte-identical access sequences. These
+//! helpers are the test-side embodiment of Propositions 3.1, 3.2, 5.1, 5.2.
+
+use crate::tracer::{Granularity, RecordingTracer};
+use crate::TraceDigest;
+
+/// Runs `f` under a fresh digest-only tracer and returns the trace digest.
+pub fn trace_of<F>(granularity: Granularity, f: F) -> TraceDigest
+where
+    F: FnOnce(&mut RecordingTracer),
+{
+    let mut tr = RecordingTracer::new(granularity);
+    f(&mut tr);
+    tr.digest()
+}
+
+/// Asserts that `run` produces an identical access sequence for every input
+/// in `inputs` (all inputs must have equal length in the paper's sense —
+/// that is the caller's contract).
+///
+/// Panics with a diagnostic naming the offending input index otherwise.
+pub fn assert_oblivious<I, F>(granularity: Granularity, inputs: &[I], mut run: F)
+where
+    F: FnMut(&I, &mut RecordingTracer),
+{
+    assert!(inputs.len() >= 2, "need at least two inputs to compare");
+    let reference = trace_of(granularity, |tr| run(&inputs[0], tr));
+    for (i, input) in inputs.iter().enumerate().skip(1) {
+        let d = trace_of(granularity, |tr| run(input, tr));
+        assert_eq!(
+            d, reference,
+            "access pattern for input #{i} diverges from input #0 \
+             (lengths {} vs {}): algorithm is NOT oblivious at {granularity:?} granularity",
+            d.len(),
+            reference.len(),
+        );
+    }
+}
+
+/// Asserts that at least one pair of inputs yields *different* access
+/// sequences — i.e. the algorithm leaks (Proposition 3.2's statistical
+/// distance of 1 for some input pair).
+pub fn assert_not_oblivious<I, F>(granularity: Granularity, inputs: &[I], mut run: F)
+where
+    F: FnMut(&I, &mut RecordingTracer),
+{
+    assert!(inputs.len() >= 2, "need at least two inputs to compare");
+    let reference = trace_of(granularity, |tr| run(&inputs[0], tr));
+    let any_diff = inputs
+        .iter()
+        .skip(1)
+        .any(|input| trace_of(granularity, |tr| run(input, tr)) != reference);
+    assert!(
+        any_diff,
+        "all {} inputs produced identical traces; expected a data-dependent pattern",
+        inputs.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buf::TrackedBuf;
+    use crate::tracer::Tracer;
+
+    /// Linear scan: touches every element in order — oblivious.
+    fn linear_scan(input: &Vec<u64>, tr: &mut RecordingTracer) {
+        let buf = TrackedBuf::new(1, input.clone());
+        let mut acc = 0u64;
+        for i in 0..buf.len() {
+            acc = acc.wrapping_add(buf.read(i, tr));
+        }
+        std::hint::black_box(acc);
+    }
+
+    /// Data-dependent walk: reads the element *named by* each value — leaky.
+    fn pointer_chase(input: &Vec<u64>, tr: &mut RecordingTracer) {
+        let buf = TrackedBuf::new(1, input.clone());
+        for i in 0..buf.len() {
+            let v = buf.read(i, tr) as usize % buf.len();
+            buf.read(v, tr);
+        }
+    }
+
+    #[test]
+    fn linear_scan_is_oblivious() {
+        let inputs = vec![vec![1u64, 2, 3, 4], vec![9, 9, 9, 9], vec![4, 3, 2, 1]];
+        assert_oblivious(Granularity::Element, &inputs, linear_scan);
+        assert_oblivious(Granularity::Cacheline, &inputs, linear_scan);
+    }
+
+    #[test]
+    fn pointer_chase_leaks() {
+        let inputs = vec![vec![0u64, 1, 2, 3], vec![3, 2, 1, 0]];
+        assert_not_oblivious(Granularity::Element, &inputs, pointer_chase);
+    }
+
+    #[test]
+    #[should_panic(expected = "NOT oblivious")]
+    fn assert_oblivious_catches_leaks() {
+        let inputs = vec![vec![0u64, 1, 2, 3], vec![3, 2, 1, 0]];
+        assert_oblivious(Granularity::Element, &inputs, pointer_chase);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical traces")]
+    fn assert_not_oblivious_catches_obliviousness() {
+        let inputs = vec![vec![1u64, 2, 3, 4], vec![4, 3, 2, 1]];
+        assert_not_oblivious(Granularity::Element, &inputs, linear_scan);
+    }
+
+    #[test]
+    fn cacheline_can_hide_what_element_reveals() {
+        // Two inputs whose data-dependent accesses differ only *within* one
+        // cacheline: element-granular traces differ, cacheline traces match.
+        // This is the Baseline algorithm's cacheline optimization in
+        // miniature (Section 5.1).
+        let run = |input: &Vec<u64>, tr: &mut RecordingTracer| {
+            let buf = TrackedBuf::new(1, input.clone());
+            // Access the element indexed by input[0] % 8; u64 = 8 bytes, so
+            // indices 0..8 live in the same 64-byte line.
+            let idx = (buf.read(0, tr) % 8) as usize;
+            buf.read(idx, tr);
+        };
+        let inputs = vec![vec![2u64; 8], vec![5u64; 8]];
+        assert_not_oblivious(Granularity::Element, &inputs, run);
+        assert_oblivious(Granularity::Cacheline, &inputs, run);
+    }
+
+    #[test]
+    fn trace_of_captures_nothing_for_noop() {
+        let d = trace_of(Granularity::Element, |_tr| {});
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn tracer_trait_object_safety_not_required_but_generics_work() {
+        // Ensure the Tracer trait composes with generic helpers.
+        fn touch_n<T: Tracer>(tr: &mut T, n: u64) {
+            for i in 0..n {
+                tr.touch(0, i, 1, crate::tracer::Op::Read);
+            }
+        }
+        let mut tr = RecordingTracer::new(Granularity::Element);
+        touch_n(&mut tr, 5);
+        assert_eq!(tr.stats().reads, 5);
+    }
+}

@@ -1,0 +1,300 @@
+//! The tracer trait and its null / recording implementations.
+
+use crate::digest::TraceDigest;
+use crate::CACHELINE_BYTES;
+
+/// Identifies a logical memory region visible to the adversary.
+///
+/// The paper names two: `G` (concatenated client gradients) and `G*`
+/// (the aggregated dense gradient). Region ids let a trace distinguish
+/// accesses to distinct buffers the way distinct base addresses would.
+pub type RegionId = u32;
+
+/// Memory operation kind, matching the paper's `op ∈ {read, write}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// One observed access: the paper's triple `(A[i], op, val)` with the value
+/// omitted (values are ciphertext/enclave-private; the adversary observes
+/// addresses and operations only — Section 3.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Access {
+    /// Which buffer.
+    pub region: RegionId,
+    /// Granularity-adjusted offset within the buffer: the element index in
+    /// [`Granularity::Element`] mode, the cacheline index in
+    /// [`Granularity::Cacheline`] mode.
+    pub offset: u64,
+    /// Load or store.
+    pub op: Op,
+}
+
+/// Observation granularity of the side channel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Granularity {
+    /// Byte/element-exact observation (e.g. a probe on the memory bus).
+    Element,
+    /// 64-byte cacheline observation, the practical SGX attack granularity
+    /// (controlled-channel / cache attacks, Section 2.3 and Figure 7).
+    Cacheline,
+}
+
+impl Granularity {
+    #[inline]
+    fn reduce(self, byte_off: u64) -> u64 {
+        match self {
+            Granularity::Element => byte_off,
+            Granularity::Cacheline => byte_off / CACHELINE_BYTES,
+        }
+    }
+}
+
+/// The instrumentation hook. Algorithms call [`Tracer::touch`] for every
+/// access to adversary-visible memory.
+pub trait Tracer {
+    /// Records an access of `len` bytes at byte offset `byte_off` in
+    /// `region`.
+    fn touch(&mut self, region: RegionId, byte_off: u64, len: u32, op: Op);
+
+    /// Whether this tracer keeps full event logs (used by code that can
+    /// skip expensive bookkeeping otherwise).
+    #[inline]
+    fn is_recording(&self) -> bool {
+        false
+    }
+}
+
+/// A tracer that compiles to nothing: used on the benchmark hot path.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    #[inline(always)]
+    fn touch(&mut self, _region: RegionId, _byte_off: u64, _len: u32, _op: Op) {}
+}
+
+/// Aggregate counters for a recorded trace.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TracerStats {
+    /// Number of loads observed.
+    pub reads: u64,
+    /// Number of stores observed.
+    pub writes: u64,
+}
+
+impl TracerStats {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// A tracer that records the access sequence.
+///
+/// Always maintains a streaming [`TraceDigest`] and counters; optionally
+/// (when built with [`RecordingTracer::with_events`]) retains the full
+/// event list, which the attack pipeline consumes to recover sparsified
+/// gradient indices.
+pub struct RecordingTracer {
+    granularity: Granularity,
+    digest: TraceDigest,
+    stats: TracerStats,
+    events: Option<Vec<Access>>,
+    /// Optional event cap to guard against runaway memory in tests.
+    max_events: usize,
+}
+
+impl RecordingTracer {
+    /// Digest-only tracer at the given granularity.
+    pub fn new(granularity: Granularity) -> Self {
+        RecordingTracer {
+            granularity,
+            digest: TraceDigest::new(),
+            stats: TracerStats::default(),
+            events: None,
+            max_events: usize::MAX,
+        }
+    }
+
+    /// Tracer that also retains the full event sequence.
+    pub fn with_events(granularity: Granularity) -> Self {
+        let mut t = Self::new(granularity);
+        t.events = Some(Vec::new());
+        t
+    }
+
+    /// Caps the retained event list at `cap` events (digest and stats keep
+    /// running past the cap).
+    pub fn with_event_cap(mut self, cap: usize) -> Self {
+        self.max_events = cap;
+        self
+    }
+
+    /// The observation granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Returns the streaming digest of everything observed so far.
+    pub fn digest(&self) -> TraceDigest {
+        self.digest
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TracerStats {
+        self.stats
+    }
+
+    /// The retained events, if this tracer was built with
+    /// [`RecordingTracer::with_events`].
+    pub fn events(&self) -> Option<&[Access]> {
+        self.events.as_deref()
+    }
+
+    /// Distinct offsets touched in `region` (the index-set leak of
+    /// Proposition 3.2: what the attacker extracts from the trace).
+    pub fn touched_offsets(&self, region: RegionId) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .events
+            .as_deref()
+            .unwrap_or(&[])
+            .iter()
+            .filter(|a| a.region == region)
+            .map(|a| a.offset)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl Tracer for RecordingTracer {
+    #[inline]
+    fn touch(&mut self, region: RegionId, byte_off: u64, len: u32, op: Op) {
+        // An element access is one event; at cacheline granularity an access
+        // spanning a line boundary shows up as touches on each line covered.
+        let (first, last) = match self.granularity {
+            Granularity::Element => (byte_off, byte_off),
+            Granularity::Cacheline => (
+                self.granularity.reduce(byte_off),
+                self.granularity.reduce(byte_off + len.max(1) as u64 - 1),
+            ),
+        };
+        let mut unit = first;
+        loop {
+            self.digest.absorb(region, unit, op);
+            match op {
+                Op::Read => self.stats.reads += 1,
+                Op::Write => self.stats.writes += 1,
+            }
+            if let Some(ev) = &mut self.events {
+                if ev.len() < self.max_events {
+                    ev.push(Access { region, offset: unit, op });
+                }
+            }
+            if unit >= last {
+                break;
+            }
+            unit += 1;
+        }
+    }
+
+    #[inline]
+    fn is_recording(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tracer_is_silent() {
+        let mut t = NullTracer;
+        t.touch(0, 0, 8, Op::Read);
+        assert!(!t.is_recording());
+    }
+
+    #[test]
+    fn element_granularity_records_each_access() {
+        let mut t = RecordingTracer::with_events(Granularity::Element);
+        t.touch(1, 0, 8, Op::Read);
+        t.touch(1, 8, 8, Op::Write);
+        assert_eq!(t.stats(), TracerStats { reads: 1, writes: 1 });
+        assert_eq!(
+            t.events().unwrap(),
+            &[
+                Access { region: 1, offset: 0, op: Op::Read },
+                Access { region: 1, offset: 8, op: Op::Write },
+            ]
+        );
+    }
+
+    #[test]
+    fn cacheline_granularity_coalesces_within_line() {
+        let mut t = RecordingTracer::with_events(Granularity::Cacheline);
+        t.touch(1, 0, 8, Op::Read); // line 0
+        t.touch(1, 56, 8, Op::Read); // line 0 still
+        t.touch(1, 64, 8, Op::Read); // line 1
+        let lines: Vec<u64> = t.events().unwrap().iter().map(|a| a.offset).collect();
+        assert_eq!(lines, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn straddling_access_touches_both_lines() {
+        let mut t = RecordingTracer::with_events(Granularity::Cacheline);
+        t.touch(1, 60, 8, Op::Write); // bytes 60..68 span lines 0 and 1
+        let lines: Vec<u64> = t.events().unwrap().iter().map(|a| a.offset).collect();
+        assert_eq!(lines, vec![0, 1]);
+        assert_eq!(t.stats().writes, 2);
+    }
+
+    #[test]
+    fn digests_differ_for_different_sequences() {
+        let mut a = RecordingTracer::new(Granularity::Element);
+        a.touch(1, 0, 4, Op::Read);
+        a.touch(1, 4, 4, Op::Read);
+        let mut b = RecordingTracer::new(Granularity::Element);
+        b.touch(1, 4, 4, Op::Read);
+        b.touch(1, 0, 4, Op::Read);
+        assert_ne!(a.digest(), b.digest(), "order must matter");
+    }
+
+    #[test]
+    fn digests_equal_for_equal_sequences() {
+        let build = || {
+            let mut t = RecordingTracer::new(Granularity::Element);
+            for i in 0..100 {
+                t.touch(2, i * 4, 4, if i % 3 == 0 { Op::Write } else { Op::Read });
+            }
+            t.digest()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn touched_offsets_dedup_sorted() {
+        let mut t = RecordingTracer::with_events(Granularity::Element);
+        for off in [12u64, 4, 12, 0, 4] {
+            t.touch(3, off, 4, Op::Write);
+        }
+        t.touch(9, 100, 4, Op::Write); // other region ignored
+        assert_eq!(t.touched_offsets(3), vec![0, 4, 12]);
+    }
+
+    #[test]
+    fn event_cap_limits_retention_not_stats() {
+        let mut t = RecordingTracer::with_events(Granularity::Element).with_event_cap(3);
+        for i in 0..10 {
+            t.touch(1, i, 1, Op::Read);
+        }
+        assert_eq!(t.events().unwrap().len(), 3);
+        assert_eq!(t.stats().reads, 10);
+    }
+}

@@ -1,0 +1,41 @@
+//! Weight initialization.
+
+use rand::Rng;
+
+/// Uniform Glorot/Xavier initialization for a weight tensor with the given
+/// fan-in and fan-out: U(−a, a) with a = sqrt(6 / (fan_in + fan_out)).
+pub fn xavier_uniform<R: Rng>(fan_in: usize, fan_out: usize, len: usize, rng: &mut R) -> Vec<f32> {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    (0..len).map(|_| rng.gen_range(-a..a)).collect()
+}
+
+/// He (Kaiming) uniform initialization for ReLU fan-in.
+pub fn he_uniform<R: Rng>(fan_in: usize, len: usize, rng: &mut R) -> Vec<f32> {
+    let a = (6.0 / fan_in as f64).sqrt() as f32;
+    (0..len).map(|_| rng.gen_range(-a..a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_respected() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let a = (6.0f64 / 300.0).sqrt() as f32;
+        let w = xavier_uniform(100, 200, 10_000, &mut rng);
+        assert!(w.iter().all(|&x| x > -a && x < a));
+        // Spread sanity: roughly symmetric around zero.
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < a / 10.0);
+    }
+
+    #[test]
+    fn he_bounds() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let a = (6.0f64 / 50.0).sqrt() as f32;
+        let w = he_uniform(50, 1000, &mut rng);
+        assert!(w.iter().all(|&x| x > -a && x < a));
+    }
+}

@@ -1,0 +1,38 @@
+//! # olive-nn
+//!
+//! A minimal, dependency-free neural-network library: exactly the pieces the
+//! Olive reproduction needs and nothing more.
+//!
+//! Three consumers:
+//! 1. **FL clients** train the global models of the paper's Table 1 / Table 3
+//!    (MLPs and a LeNet-style CNN) locally with SGD (Algorithm 1's
+//!    `EncClient`);
+//! 2. **the attacker** (Algorithm 2) trains multilayer perceptrons on
+//!    multi-hot index vectors (Table 4's `NN` / `NN-single` models);
+//! 3. **evaluation** computes test accuracy/loss for the utility figures
+//!    (Figures 15–16).
+//!
+//! Design choices: plain `Vec<f32>` storage, explicit batched
+//! forward/backward per layer, enum dispatch (no trait objects), flat
+//! parameter/gradient views for FL (get/set the whole model as one vector —
+//! the unit the paper sparsifies). Correctness is pinned by
+//! finite-difference gradient checks in the test suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod zoo;
+
+pub use layers::{Conv2d, Dense, Dropout, Layer, MaxPool2d, Relu};
+pub use loss::softmax_cross_entropy;
+pub use model::Model;
+pub use optim::Sgd;
+pub use zoo::{
+    attacker_nn, attacker_nn_single, cifar100_cnn, cifar10_cnn, cifar10_mlp, mnist_mlp,
+    purchase100_mlp, ModelSpec,
+};

@@ -1,0 +1,109 @@
+//! SGD with optional momentum, operating on the model's flat views.
+
+use crate::model::Model;
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// Plain SGD (`momentum = 0`) matches the paper's client optimizer
+/// (Algorithm 1 line 19: `θ ← θ − η ∇ℓ`); momentum is available for the
+/// attacker's classifier training.
+pub struct Sgd {
+    /// Learning rate η.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Creates an optimizer for a model with `param_count` parameters.
+    pub fn new(lr: f32, momentum: f32, param_count: usize) -> Self {
+        Sgd { lr, momentum, velocity: vec![0.0; param_count] }
+    }
+
+    /// Applies one update from the model's accumulated gradients, then
+    /// clears them.
+    pub fn step(&mut self, model: &mut Model) {
+        if self.momentum == 0.0 {
+            model.sgd_step(self.lr);
+            return;
+        }
+        let grads = model.get_grads();
+        assert_eq!(grads.len(), self.velocity.len(), "optimizer/model size mismatch");
+        let mut params = model.get_params();
+        for ((v, g), p) in self.velocity.iter_mut().zip(grads.iter()).zip(params.iter_mut()) {
+            *v = self.momentum * *v + g;
+            *p -= self.lr * *v;
+        }
+        model.set_params(&params);
+        model.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Layer};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn model() -> Model {
+        let mut rng = SmallRng::seed_from_u64(0);
+        Model::new(vec![Layer::Dense(Dense::new(2, 2, &mut rng))], 2)
+    }
+
+    #[test]
+    fn momentum_zero_equals_plain_sgd() {
+        let mut m1 = model();
+        let mut m2 = m1.clone();
+        let x = [1.0f32, -1.0];
+        let y = [0usize];
+        m1.train_batch(&x, &y);
+        m1.sgd_step(0.1);
+        let mut opt = Sgd::new(0.1, 0.0, m2.param_count());
+        m2.train_batch(&x, &y);
+        opt.step(&mut m2);
+        assert_eq!(m1.get_params(), m2.get_params());
+    }
+
+    #[test]
+    fn momentum_accelerates_along_constant_gradient() {
+        let mut m = model();
+        let x = [1.0f32, -1.0];
+        let y = [0usize];
+        let mut opt = Sgd::new(0.01, 0.9, m.param_count());
+        let p0 = m.get_params();
+        m.train_batch(&x, &y);
+        opt.step(&mut m);
+        let step1: f32 = m
+            .get_params()
+            .iter()
+            .zip(p0.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let p1 = m.get_params();
+        m.train_batch(&x, &y);
+        opt.step(&mut m);
+        let step2: f32 = m
+            .get_params()
+            .iter()
+            .zip(p1.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(step2 > step1, "velocity should build up: {step1} vs {step2}");
+    }
+
+    #[test]
+    fn training_with_momentum_converges() {
+        let mut m = model();
+        let mut opt = Sgd::new(0.05, 0.9, m.param_count());
+        let xs = [1.0f32, 0.0, 0.0, 1.0, 1.0, 0.1, 0.1, 1.0];
+        let ys = [0usize, 1, 0, 1];
+        let mut last = f32::INFINITY;
+        for _ in 0..100 {
+            last = m.train_batch(&xs, &ys);
+            opt.step(&mut m);
+        }
+        assert!(last < 0.1, "loss {last}");
+    }
+}

@@ -1,0 +1,215 @@
+//! The paper's model catalog (Tables 1, 3 and 4).
+//!
+//! Parameter counts reproduce the paper where the architecture is fully
+//! specified: MNIST MLP = 50,890, CIFAR10 CNN = 62,006, Purchase100 MLP =
+//! 44,964. The CIFAR100 model is a small CNN with ≈ 204k parameters
+//! standing in for the paper's ResNet-18-derived 201,588 (a from-scratch
+//! ResNet with batch-norm is out of scope and irrelevant to the attack
+//! mechanics — see `DESIGN.md` §1).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::layers::{Conv2d, Dense, Dropout, Layer, MaxPool2d, Relu};
+use crate::model::Model;
+
+/// Identifies a catalogued global model (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelSpec {
+    /// MNIST MLP: 784 → 64 → 10 with dropout 0.5 (50,890 params).
+    MnistMlp,
+    /// CIFAR10 MLP: 3072 → 64 → 10 with dropout 0.5 (197,322 params).
+    Cifar10Mlp,
+    /// CIFAR10 CNN: LeNet-style conv stack (62,006 params).
+    Cifar10Cnn,
+    /// Purchase100 MLP: 600 → 64 → 100 with dropout 0.5 (44,964 params).
+    Purchase100Mlp,
+    /// CIFAR100 CNN: small conv stack, ≈ 204k params (ResNet-18 stand-in).
+    Cifar100Cnn,
+}
+
+impl ModelSpec {
+    /// Human-readable name matching Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelSpec::MnistMlp => "MNIST MLP",
+            ModelSpec::Cifar10Mlp => "CIFAR10 MLP",
+            ModelSpec::Cifar10Cnn => "CIFAR10 CNN",
+            ModelSpec::Purchase100Mlp => "Purchase100 MLP",
+            ModelSpec::Cifar100Cnn => "CIFAR100 CNN",
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        match self {
+            ModelSpec::MnistMlp => 28 * 28,
+            ModelSpec::Cifar10Mlp | ModelSpec::Cifar10Cnn | ModelSpec::Cifar100Cnn => 3 * 32 * 32,
+            ModelSpec::Purchase100Mlp => 600,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            ModelSpec::MnistMlp | ModelSpec::Cifar10Mlp | ModelSpec::Cifar10Cnn => 10,
+            ModelSpec::Purchase100Mlp | ModelSpec::Cifar100Cnn => 100,
+        }
+    }
+
+    /// Builds the model with seeded initialization.
+    pub fn build(&self, seed: u64) -> Model {
+        match self {
+            ModelSpec::MnistMlp => mnist_mlp(seed),
+            ModelSpec::Cifar10Mlp => cifar10_mlp(seed),
+            ModelSpec::Cifar10Cnn => cifar10_cnn(seed),
+            ModelSpec::Purchase100Mlp => purchase100_mlp(seed),
+            ModelSpec::Cifar100Cnn => cifar100_cnn(seed),
+        }
+    }
+
+    /// All catalogued models, Table 1 order.
+    pub fn all() -> [ModelSpec; 5] {
+        [
+            ModelSpec::MnistMlp,
+            ModelSpec::Cifar10Mlp,
+            ModelSpec::Cifar10Cnn,
+            ModelSpec::Purchase100Mlp,
+            ModelSpec::Cifar100Cnn,
+        ]
+    }
+}
+
+/// Generic 2-layer MLP: `input → hidden (ReLU, dropout 0.5) → classes`,
+/// the architecture of every MLP row of Table 3. Used directly for
+/// reduced-scale attack experiments.
+pub fn mlp(input_dim: usize, hidden: usize, classes: usize, dropout: f32, seed: u64) -> Model {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Model::new(
+        vec![
+            Layer::Dense(Dense::new(input_dim, hidden, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::Dropout(Dropout::new(dropout, seed ^ 0xD20F_F00D)),
+            Layer::Dense(Dense::new(hidden, classes, &mut rng)),
+        ],
+        classes,
+    )
+}
+
+/// MNIST MLP (Table 3): 784 → 64 → 10, dropout 0.5. 50,890 parameters.
+pub fn mnist_mlp(seed: u64) -> Model {
+    mlp(28 * 28, 64, 10, 0.5, seed)
+}
+
+/// CIFAR10 MLP (Table 3): 3072 → 64 → 10, dropout 0.5. 197,322 parameters
+/// (the paper reports 197,320; the 2-parameter delta is bias bookkeeping).
+pub fn cifar10_mlp(seed: u64) -> Model {
+    mlp(3 * 32 * 32, 64, 10, 0.5, seed)
+}
+
+/// CIFAR10 CNN (Table 3): conv(3→6, k5) → pool → conv(6→16, k5) → pool →
+/// 400 → 120 → 84 → 10. Exactly 62,006 parameters as in Table 1.
+pub fn cifar10_cnn(seed: u64) -> Model {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Model::new(
+        vec![
+            Layer::Conv2d(Conv2d::new(3, 6, 5, 32, 32, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::MaxPool2d(MaxPool2d::new(6, 28, 28)),
+            Layer::Conv2d(Conv2d::new(6, 16, 5, 14, 14, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::MaxPool2d(MaxPool2d::new(16, 10, 10)),
+            Layer::Dense(Dense::new(16 * 5 * 5, 120, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::Dense(Dense::new(120, 84, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::Dense(Dense::new(84, 10, &mut rng)),
+        ],
+        10,
+    )
+}
+
+/// Purchase100 MLP (Table 3): 600 → 64 → 100, dropout 0.5. 44,964 params.
+pub fn purchase100_mlp(seed: u64) -> Model {
+    mlp(600, 64, 100, 0.5, seed)
+}
+
+/// CIFAR100 CNN: conv(3→8, k5) → pool → conv(8→16, k5) → pool → 400 → 400
+/// → 100. ≈ 204k parameters, the ResNet-18 stand-in (see module docs).
+pub fn cifar100_cnn(seed: u64) -> Model {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Model::new(
+        vec![
+            Layer::Conv2d(Conv2d::new(3, 8, 5, 32, 32, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::MaxPool2d(MaxPool2d::new(8, 28, 28)),
+            Layer::Conv2d(Conv2d::new(8, 16, 5, 14, 14, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::MaxPool2d(MaxPool2d::new(16, 10, 10)),
+            Layer::Dense(Dense::new(16 * 5 * 5, 400, &mut rng)),
+            Layer::Relu(Relu::new()),
+            Layer::Dense(Dense::new(400, 100, &mut rng)),
+        ],
+        100,
+    )
+}
+
+/// The attacker's per-round classifier (Table 4, `NN`): `d → 1000 → |L|`
+/// with dropout 0.5, where `d` is the multi-hot index-vector dimension.
+/// `hidden` is parameterized so reduced-scale experiments stay faithful in
+/// shape.
+pub fn attacker_nn(input_dim: usize, hidden: usize, labels: usize, seed: u64) -> Model {
+    mlp(input_dim, hidden, labels, 0.5, seed)
+}
+
+/// The attacker's all-rounds classifier (Table 4, `NN-single`):
+/// `d → 2000 → |L|` over concatenated rounds.
+pub fn attacker_nn_single(input_dim: usize, hidden: usize, labels: usize, seed: u64) -> Model {
+    mlp(input_dim, hidden, labels, 0.5, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_param_counts() {
+        // Table 1's exact numbers where the architecture is unambiguous.
+        assert_eq!(mnist_mlp(0).param_count(), 50_890);
+        assert_eq!(cifar10_cnn(0).param_count(), 62_006);
+        assert_eq!(purchase100_mlp(0).param_count(), 44_964);
+        // CIFAR10 MLP: 197,322 vs the paper's 197,320 (bias bookkeeping).
+        assert_eq!(cifar10_mlp(0).param_count(), 197_322);
+        // CIFAR100 stand-in lands near the paper's 201,588.
+        let c100 = cifar100_cnn(0).param_count();
+        assert!((190_000..220_000).contains(&c100), "got {c100}");
+    }
+
+    #[test]
+    fn spec_metadata_consistent() {
+        for spec in ModelSpec::all() {
+            let mut m = spec.build(1);
+            assert_eq!(m.num_classes, spec.num_classes(), "{}", spec.name());
+            // Forward pass shape sanity.
+            let x = vec![0.1f32; spec.input_dim() * 2];
+            let logits = m.forward(&x, 2, false);
+            assert_eq!(logits.len(), 2 * spec.num_classes(), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn cnn_trains_a_step() {
+        let mut m = cifar10_cnn(3);
+        let x = vec![0.05f32; 3 * 32 * 32];
+        let before = m.get_params();
+        m.train_batch(&x, &[3]);
+        m.sgd_step(0.1);
+        assert_ne!(m.get_params(), before);
+    }
+
+    #[test]
+    fn builds_are_seed_deterministic() {
+        assert_eq!(mnist_mlp(7).get_params(), mnist_mlp(7).get_params());
+        assert_ne!(mnist_mlp(7).get_params(), mnist_mlp(8).get_params());
+    }
+}

@@ -1,0 +1,38 @@
+//! # olive-oblivious
+//!
+//! Register-level oblivious primitives and oblivious algorithms, the
+//! building blocks of the paper's defense (Section 2.3, Appendix A).
+//!
+//! The threat model allows the adversary to observe *memory* access
+//! patterns and code addresses, but not CPU registers. Conditional logic
+//! must therefore avoid both data-dependent memory addressing and
+//! data-dependent branches. The paper (following Ohrimenko et al. and
+//! ZeroTrace) builds everything from the x86 `CMOV` instruction; this crate
+//! provides:
+//!
+//! * [`primitives`] — `o_select` / `o_swap` (the paper's `o_mov`, Listing 1,
+//!   and `o_swap`, Listing 2), implemented with inline `cmov` assembly on
+//!   x86-64 and branch-free mask arithmetic elsewhere, over all the cell
+//!   types the aggregation algorithms use;
+//! * [`sort`] — Batcher's bitonic sorting network (the paper's oblivious
+//!   sort, used twice by Algorithm 4), operating on [`TrackedBuf`]s so the
+//!   comparator schedule is visible to the trace checker;
+//! * [`scan`] — oblivious linear-scan read/write of a secret index
+//!   (ZeroTrace's trusted-storage emulation, used by the ORAM stash and
+//!   position map);
+//! * [`shuffle`] — oblivious random shuffle via random-key sorting (used by
+//!   the differentially-oblivious ablation, Section 5.4).
+//!
+//! [`TrackedBuf`]: olive_memsim::TrackedBuf
+
+#![warn(missing_docs)]
+
+pub mod primitives;
+pub mod scan;
+pub mod shuffle;
+pub mod sort;
+
+pub use primitives::{o_select, o_select_u64, o_swap, Oblivious};
+pub use scan::{o_scan_read, o_scan_update, o_scan_write};
+pub use shuffle::oblivious_shuffle;
+pub use sort::{bitonic_sort_by_key, bitonic_sort_pow2, next_pow2};

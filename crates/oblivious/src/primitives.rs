@@ -1,0 +1,223 @@
+//! The `o_mov` / `o_swap` primitives (paper Appendix A, Listings 1–2).
+//!
+//! `o_select(flag, x, y)` returns `x` when `flag` is true and `y` otherwise,
+//! compiled so that neither the branch predictor nor the memory system sees
+//! which arm was taken: on x86-64 this is a literal `cmov` (the same
+//! instruction the paper's Rust implementation uses); on other targets a
+//! mask-arithmetic fallback with identical data-independence properties.
+
+/// Branch-free 64-bit select: `flag ? x : y`.
+///
+/// This is the paper's `o_mov` (Listing 1): `test ecx, -1; cmovz rax, r8`.
+#[inline(always)]
+#[cfg(target_arch = "x86_64")]
+pub fn o_select_u64(flag: bool, x: u64, y: u64) -> u64 {
+    let mut out = x;
+    // SAFETY: pure register arithmetic; no memory is read or written.
+    unsafe {
+        core::arch::asm!(
+            "test {f}, {f}",
+            "cmovz {out}, {y}",
+            f = in(reg) flag as u64,
+            y = in(reg) y,
+            out = inout(reg) out,
+            options(pure, nomem, nostack),
+        );
+    }
+    out
+}
+
+/// Branch-free 64-bit select: `flag ? x : y` (portable fallback).
+#[inline(always)]
+#[cfg(not(target_arch = "x86_64"))]
+pub fn o_select_u64(flag: bool, x: u64, y: u64) -> u64 {
+    let mask = (flag as u64).wrapping_neg(); // all-ones when flag
+    (x & mask) | (y & !mask)
+}
+
+/// Types that support register-level oblivious selection.
+///
+/// Implementations must be branch-free and must not perform data-dependent
+/// memory accesses. All cell types used by the aggregation algorithms
+/// ((index, value) pairs, packed u64 cells, floats) implement this.
+pub trait Oblivious: Copy {
+    /// `flag ? x : y` without revealing `flag` through side channels.
+    fn o_select(flag: bool, x: Self, y: Self) -> Self;
+}
+
+impl Oblivious for u64 {
+    #[inline(always)]
+    fn o_select(flag: bool, x: Self, y: Self) -> Self {
+        o_select_u64(flag, x, y)
+    }
+}
+
+impl Oblivious for u32 {
+    #[inline(always)]
+    fn o_select(flag: bool, x: Self, y: Self) -> Self {
+        o_select_u64(flag, x as u64, y as u64) as u32
+    }
+}
+
+impl Oblivious for i64 {
+    #[inline(always)]
+    fn o_select(flag: bool, x: Self, y: Self) -> Self {
+        o_select_u64(flag, x as u64, y as u64) as i64
+    }
+}
+
+impl Oblivious for usize {
+    #[inline(always)]
+    fn o_select(flag: bool, x: Self, y: Self) -> Self {
+        o_select_u64(flag, x as u64, y as u64) as usize
+    }
+}
+
+impl Oblivious for bool {
+    #[inline(always)]
+    fn o_select(flag: bool, x: Self, y: Self) -> Self {
+        o_select_u64(flag, x as u64, y as u64) != 0
+    }
+}
+
+impl Oblivious for f32 {
+    #[inline(always)]
+    fn o_select(flag: bool, x: Self, y: Self) -> Self {
+        f32::from_bits(o_select_u64(flag, x.to_bits() as u64, y.to_bits() as u64) as u32)
+    }
+}
+
+impl Oblivious for f64 {
+    #[inline(always)]
+    fn o_select(flag: bool, x: Self, y: Self) -> Self {
+        f64::from_bits(o_select_u64(flag, x.to_bits(), y.to_bits()))
+    }
+}
+
+impl<A: Oblivious, B: Oblivious> Oblivious for (A, B) {
+    #[inline(always)]
+    fn o_select(flag: bool, x: Self, y: Self) -> Self {
+        (A::o_select(flag, x.0, y.0), B::o_select(flag, x.1, y.1))
+    }
+}
+
+impl<A: Oblivious, B: Oblivious, C: Oblivious> Oblivious for (A, B, C) {
+    #[inline(always)]
+    fn o_select(flag: bool, x: Self, y: Self) -> Self {
+        (
+            A::o_select(flag, x.0, y.0),
+            B::o_select(flag, x.1, y.1),
+            C::o_select(flag, x.2, y.2),
+        )
+    }
+}
+
+/// Generic oblivious select over any [`Oblivious`] type.
+#[inline(always)]
+pub fn o_select<T: Oblivious>(flag: bool, x: T, y: T) -> T {
+    T::o_select(flag, x, y)
+}
+
+/// Conditionally swaps `a` and `b` when `flag` is true, in registers
+/// (the paper's `o_swap`, Listing 2). The memory footprint — both cells
+/// read, both written — is identical whichever way the flag falls; the
+/// caller is responsible for actually performing those writes when the
+/// values live in traced memory (see `TrackedBuf::write_pair`).
+#[inline(always)]
+pub fn o_swap<T: Oblivious>(flag: bool, a: &mut T, b: &mut T) {
+    let new_a = T::o_select(flag, *b, *a);
+    let new_b = T::o_select(flag, *a, *b);
+    *a = new_a;
+    *b = new_b;
+}
+
+/// Branch-free equality test on u64 (the *result* is secret; the
+/// computation leaks nothing).
+#[inline(always)]
+pub fn o_eq_u64(a: u64, b: u64) -> bool {
+    // (a ^ b) == 0, computed without a comparison chain. Rust compiles
+    // integer == to a flag-setting compare which is already branch-free;
+    // the explicit xor form documents intent.
+    (a ^ b) == 0
+}
+
+/// Branch-free less-than on u64.
+#[inline(always)]
+pub fn o_lt_u64(a: u64, b: u64) -> bool {
+    // Standard borrow-extraction trick.
+    let d = a.wrapping_sub(b);
+    (((!a & b) | ((!a | b) & d)) >> 63) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_u64() {
+        assert_eq!(o_select_u64(true, 7, 9), 7);
+        assert_eq!(o_select_u64(false, 7, 9), 9);
+        assert_eq!(o_select_u64(true, u64::MAX, 0), u64::MAX);
+        assert_eq!(o_select_u64(false, u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn select_floats_preserve_bits() {
+        assert_eq!(o_select(true, 1.5f32, -2.5), 1.5);
+        assert_eq!(o_select(false, 1.5f32, -2.5), -2.5);
+        assert!(o_select(true, f32::NAN, 1.0).is_nan());
+        assert_eq!(o_select(true, -0.0f64, 1.0).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn select_tuples() {
+        let a = (1u32, 2.0f32);
+        let b = (3u32, 4.0f32);
+        assert_eq!(o_select(true, a, b), a);
+        assert_eq!(o_select(false, a, b), b);
+        let t3 = o_select(true, (1u64, 2u64, 3u64), (4, 5, 6));
+        assert_eq!(t3, (1, 2, 3));
+    }
+
+    #[test]
+    fn swap_both_ways() {
+        let (mut a, mut b) = (10u64, 20u64);
+        o_swap(false, &mut a, &mut b);
+        assert_eq!((a, b), (10, 20));
+        o_swap(true, &mut a, &mut b);
+        assert_eq!((a, b), (20, 10));
+    }
+
+    #[test]
+    fn swap_pairs() {
+        let (mut a, mut b) = ((1u32, 1.0f32), (2u32, 2.0f32));
+        o_swap(true, &mut a, &mut b);
+        assert_eq!(a, (2, 2.0));
+        assert_eq!(b, (1, 1.0));
+    }
+
+    #[test]
+    fn eq_and_lt() {
+        assert!(o_eq_u64(5, 5));
+        assert!(!o_eq_u64(5, 6));
+        for (a, b) in [(0u64, 1u64), (1, 0), (5, 5), (u64::MAX, 0), (0, u64::MAX), (u64::MAX, u64::MAX)] {
+            assert_eq!(o_lt_u64(a, b), a < b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn lt_exhaustive_small() {
+        for a in 0..20u64 {
+            for b in 0..20u64 {
+                assert_eq!(o_lt_u64(a, b), a < b);
+            }
+        }
+    }
+
+    #[test]
+    fn select_bool_and_usize() {
+        assert!(o_select(true, true, false));
+        assert!(!o_select(false, true, false));
+        assert_eq!(o_select(true, 3usize, 9), 3);
+    }
+}

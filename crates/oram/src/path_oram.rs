@@ -1,0 +1,389 @@
+//! PathORAM with oblivious stash operations (ZeroTrace construction).
+
+use olive_memsim::{TrackedBuf, Tracer};
+use olive_oblivious::primitives::Oblivious;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::posmap::{PosMap, PosMapKind};
+
+/// Blocks per bucket (the standard Z = 4).
+pub const BUCKET_SIZE: usize = 4;
+
+/// Sentinel key marking an empty slot.
+pub const INVALID_KEY: u32 = u32::MAX;
+
+#[inline(always)]
+fn pack_meta(key: u32, leaf: u32) -> u64 {
+    ((key as u64) << 32) | leaf as u64
+}
+
+#[inline(always)]
+fn meta_key(meta: u64) -> u32 {
+    (meta >> 32) as u32
+}
+
+#[inline(always)]
+fn meta_leaf(meta: u64) -> u32 {
+    meta as u32
+}
+
+/// ORAM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PathOramConfig {
+    /// Number of addressable blocks (logical keys `0..capacity`).
+    pub capacity: usize,
+    /// Persistent stash limit; the paper fixes 20 (Section 5.5 setup).
+    /// Exceeding it during operation is a hard error (probability is
+    /// negligible for Z = 4 by the PathORAM analysis).
+    pub stash_limit: usize,
+    /// Position-map strategy.
+    pub posmap: PosMapKind,
+    /// Base region id for memory tracing (tree, stash, posmap get
+    /// `base`, `base+1`, `base+2`; recursive maps continue upward).
+    pub region_base: u32,
+}
+
+/// Occupancy / usage counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OramStats {
+    /// Completed accesses.
+    pub accesses: u64,
+    /// High-water mark of persistent stash occupancy (post-eviction).
+    pub max_stash_occupancy: usize,
+}
+
+/// A PathORAM holding `capacity` blocks of type `V`.
+///
+/// All stash and bucket manipulation is branch-free (`o_select`) and
+/// touches a data-independent sequence of addresses; the only variability
+/// in the trace is the *uniformly random* path identity, which is exactly
+/// PathORAM's statistical-obliviousness guarantee.
+pub struct PathOram<V: Oblivious + Default> {
+    /// `(2·leaves − 1) · Z` slots of `(meta, value)`, heap-ordered buckets.
+    tree: TrackedBuf<(u64, V)>,
+    /// Oblivious stash: `stash_limit + Z·(L+1)` slots.
+    stash: TrackedBuf<(u64, V)>,
+    posmap: PosMap,
+    leaves: u32,
+    levels: u32,
+    config: PathOramConfig,
+    rng: SmallRng,
+    stats: OramStats,
+}
+
+impl<V: Oblivious + Default> PathOram<V> {
+    /// Builds an empty ORAM (every key initially reads `V::default()`).
+    pub fn new(config: PathOramConfig, seed: u64) -> Self {
+        assert!(config.capacity >= 1);
+        assert!((config.capacity as u64) < INVALID_KEY as u64, "capacity too large");
+        let leaves = config.capacity.next_power_of_two().max(2) as u32;
+        let levels = leaves.trailing_zeros(); // path has levels+1 buckets
+        let buckets = 2 * leaves as usize - 1;
+        let empty = (pack_meta(INVALID_KEY, 0), V::default());
+        let tree = TrackedBuf::new(config.region_base, vec![empty; buckets * BUCKET_SIZE]);
+        let path_len = BUCKET_SIZE * (levels as usize + 1);
+        let stash =
+            TrackedBuf::new(config.region_base + 1, vec![empty; config.stash_limit + path_len]);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x04A7_04A7);
+        let posmap = {
+            let mut leaf_rng = SmallRng::seed_from_u64(rng.gen());
+            PosMap::build(config.posmap, config.capacity, config.region_base + 2, seed, |_| {
+                leaf_rng.gen_range(0..leaves)
+            })
+        };
+        PathOram { tree, stash, posmap, leaves, levels, config, rng, stats: OramStats::default() }
+    }
+
+    /// Number of addressable blocks.
+    pub fn capacity(&self) -> usize {
+        self.config.capacity
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> OramStats {
+        self.stats
+    }
+
+    /// Approximate resident bytes of the tree + stash (for EPC accounting).
+    pub fn memory_bytes(&self) -> u64 {
+        ((self.tree.len() + self.stash.len()) * core::mem::size_of::<(u64, V)>()) as u64
+    }
+
+    /// Heap index (1-based) of the bucket at `level` on the path to `leaf`.
+    #[inline]
+    fn path_node(&self, leaf: u32, level: u32) -> u32 {
+        (self.leaves + leaf) >> (self.levels - level)
+    }
+
+    /// Oblivious read: returns the block's value (default if never written).
+    pub fn read<TR: Tracer>(&mut self, key: u32, tr: &mut TR) -> V {
+        self.access(key, |v| v, tr)
+    }
+
+    /// Oblivious write.
+    pub fn write<TR: Tracer>(&mut self, key: u32, value: V, tr: &mut TR) {
+        self.access(key, move |_| value, tr);
+    }
+
+    /// Oblivious read-modify-write: applies `f` to the current value and
+    /// stores the result; returns the *old* value. `f` must be branch-free
+    /// with respect to secret data (it runs once per stash slot).
+    pub fn update<TR: Tracer, F: Fn(V) -> V + Copy>(&mut self, key: u32, f: F, tr: &mut TR) -> V {
+        self.access(key, f, tr)
+    }
+
+    /// The full PathORAM access: remap, read path into stash, scan-update,
+    /// and greedily evict back along the same path.
+    fn access<TR: Tracer, F: Fn(V) -> V + Copy>(&mut self, key: u32, f: F, tr: &mut TR) -> V {
+        assert!((key as usize) < self.config.capacity, "key out of range");
+        let new_leaf = self.rng.gen_range(0..self.leaves);
+        let leaf = self.posmap.get_and_set(key, new_leaf, tr);
+        debug_assert!(leaf < self.leaves, "corrupt position map");
+        let empty = (pack_meta(INVALID_KEY, 0), V::default());
+
+        // Phase 1: move the whole path into the stash.
+        for level in 0..=self.levels {
+            let node = self.path_node(leaf, level);
+            for z in 0..BUCKET_SIZE {
+                let idx = (node as usize - 1) * BUCKET_SIZE + z;
+                let slot = self.tree.read(idx, tr);
+                self.tree.write(idx, empty, tr);
+                self.stash_insert(slot, tr);
+            }
+        }
+
+        // Phase 2: one oblivious sweep: find the block, apply `f`, remap
+        // its leaf; remember whether it existed.
+        let mut old = V::default();
+        let mut found = false;
+        for i in 0..self.stash.len() {
+            let (meta, value) = self.stash.read(i, tr);
+            let hit = meta_key(meta) == key;
+            old = V::o_select(hit, value, old);
+            let new_value = V::o_select(hit, f(value), value);
+            let new_meta = u64::o_select(hit, pack_meta(key, new_leaf), meta);
+            self.stash.write(i, (new_meta, new_value), tr);
+            found |= hit;
+        }
+        // First-ever access: materialize the block (the insert scan runs
+        // unconditionally; an already-found block inserts an empty slot).
+        let fresh = (
+            u64::o_select(found, pack_meta(INVALID_KEY, 0), pack_meta(key, new_leaf)),
+            V::o_select(found, V::default(), f(V::default())),
+        );
+        self.stash_insert(fresh, tr);
+
+        // Phase 3: greedy eviction, deepest bucket first.
+        for level in (0..=self.levels).rev() {
+            let node = self.path_node(leaf, level);
+            for z in 0..BUCKET_SIZE {
+                let idx = (node as usize - 1) * BUCKET_SIZE + z;
+                let mut chosen = empty;
+                let mut chosen_found = false;
+                for i in 0..self.stash.len() {
+                    let (meta, value) = self.stash.read(i, tr);
+                    let valid = meta_key(meta) != INVALID_KEY;
+                    // Eligible iff this bucket lies on the block's own path.
+                    let on_path = valid && self.path_node(meta_leaf(meta), level) == node;
+                    let take = on_path && !chosen_found;
+                    chosen = <(u64, V)>::o_select(take, (meta, value), chosen);
+                    self.stash.write(i, <(u64, V)>::o_select(take, empty, (meta, value)), tr);
+                    chosen_found |= take;
+                }
+                self.tree.write(idx, chosen, tr);
+            }
+        }
+
+        self.stats.accesses += 1;
+        let occupancy = self.stash_occupancy();
+        self.stats.max_stash_occupancy = self.stats.max_stash_occupancy.max(occupancy);
+        assert!(
+            occupancy <= self.config.stash_limit,
+            "stash overflow: {occupancy} > limit {} after {} accesses",
+            self.config.stash_limit,
+            self.stats.accesses
+        );
+        old
+    }
+
+    /// Inserts a slot into the first free stash position with a fixed
+    /// full-scan trace. Inserting an empty slot is a no-op with the same
+    /// trace. Panics if the slot is valid and the stash is full.
+    fn stash_insert<TR: Tracer>(&mut self, slot: (u64, V), tr: &mut TR) {
+        let valid = meta_key(slot.0) != INVALID_KEY;
+        let mut placed = false;
+        for i in 0..self.stash.len() {
+            let cur = self.stash.read(i, tr);
+            let free = meta_key(cur.0) == INVALID_KEY;
+            let put = valid && free && !placed;
+            self.stash.write(i, <(u64, V)>::o_select(put, slot, cur), tr);
+            placed |= put;
+        }
+        assert!(placed || !valid, "stash insert failed: no free slot");
+    }
+
+    /// Current number of occupied stash slots (untraced: diagnostic only).
+    pub fn stash_occupancy(&self) -> usize {
+        self.stash
+            .as_slice_untraced()
+            .iter()
+            .filter(|(meta, _)| meta_key(*meta) != INVALID_KEY)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olive_memsim::{Granularity, NullTracer, RecordingTracer};
+    use std::collections::HashMap;
+
+    fn oram(capacity: usize, posmap: PosMapKind, seed: u64) -> PathOram<u64> {
+        PathOram::new(
+            PathOramConfig { capacity, stash_limit: 20, posmap, region_base: 10 },
+            seed,
+        )
+    }
+
+    #[test]
+    fn unwritten_keys_read_default() {
+        let mut o = oram(16, PosMapKind::LinearScan, 1);
+        for k in 0..16 {
+            assert_eq!(o.read(k, &mut NullTracer), 0);
+        }
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut o = oram(16, PosMapKind::LinearScan, 2);
+        o.write(5, 555, &mut NullTracer);
+        o.write(7, 777, &mut NullTracer);
+        assert_eq!(o.read(5, &mut NullTracer), 555);
+        assert_eq!(o.read(7, &mut NullTracer), 777);
+        assert_eq!(o.read(6, &mut NullTracer), 0);
+    }
+
+    #[test]
+    fn update_returns_old_and_applies() {
+        let mut o = oram(8, PosMapKind::LinearScan, 3);
+        o.write(3, 10, &mut NullTracer);
+        let old = o.update(3, |v| v + 5, &mut NullTracer);
+        assert_eq!(old, 10);
+        assert_eq!(o.read(3, &mut NullTracer), 15);
+    }
+
+    /// The canonical model test: random ops vs a HashMap, across all
+    /// position-map strategies.
+    #[test]
+    fn matches_reference_model() {
+        for posmap in [PosMapKind::Trusted, PosMapKind::LinearScan, PosMapKind::Recursive] {
+            let capacity = 64;
+            let mut o = oram(capacity, posmap, 42);
+            let mut model: HashMap<u32, u64> = HashMap::new();
+            let mut rng = SmallRng::seed_from_u64(7);
+            for step in 0..400 {
+                let key = rng.gen_range(0..capacity as u32);
+                if rng.gen_bool(0.5) {
+                    let v = rng.gen::<u64>() >> 1;
+                    o.write(key, v, &mut NullTracer);
+                    model.insert(key, v);
+                } else {
+                    let got = o.read(key, &mut NullTracer);
+                    let want = model.get(&key).copied().unwrap_or(0);
+                    assert_eq!(got, want, "{posmap:?} step {step} key {key}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stash_stays_bounded_under_load() {
+        let mut o = oram(256, PosMapKind::Trusted, 9);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..2000 {
+            let key = rng.gen_range(0..256u32);
+            o.write(key, key as u64, &mut NullTracer);
+        }
+        // The access() assertion already enforces ≤ 20; record the margin.
+        assert!(o.stats().max_stash_occupancy <= 20);
+        assert_eq!(o.stats().accesses, 2000);
+    }
+
+    #[test]
+    fn trace_length_is_key_independent() {
+        // Statistical obliviousness: with the path randomness fixed by the
+        // seed, the *shape* (length and op counts) of the trace must not
+        // depend on which key is touched. (Full trace equality does not
+        // hold — the random path identity legitimately differs — so we
+        // compare op counts, which would differ for any key-dependent
+        // stash/bucket logic.)
+        let counts = |key: u32| {
+            let mut o = oram(64, PosMapKind::LinearScan, 5);
+            let mut tr = RecordingTracer::new(Granularity::Element);
+            o.write(key, 1, &mut tr);
+            o.read(key, &mut tr);
+            (tr.stats().reads, tr.stats().writes)
+        };
+        let base = counts(0);
+        for key in [1u32, 17, 63] {
+            assert_eq!(counts(key), base, "key {key}");
+        }
+    }
+
+    #[test]
+    fn paths_are_uniformly_distributed() {
+        // The remapped leaf after each access is uniform — bucket the
+        // accessed paths of a fixed key and check rough uniformity.
+        let mut o = oram(64, PosMapKind::Trusted, 13);
+        let mut hist = vec![0u32; 4];
+        for _ in 0..400 {
+            o.write(5, 1, &mut NullTracer);
+            // Peek the posmap through a read of its trusted variant: the
+            // next access path = current leaf; bucket by quartile.
+            let leaf = match &o.posmap {
+                PosMap::Trusted(v) => v[5],
+                _ => unreachable!(),
+            };
+            hist[(leaf / 16) as usize] += 1;
+        }
+        for (i, &c) in hist.iter().enumerate() {
+            assert!((50..=150).contains(&c), "quartile {i}: {c}/400");
+        }
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut o = oram(1, PosMapKind::LinearScan, 21);
+        o.write(0, 99, &mut NullTracer);
+        assert_eq!(o.read(0, &mut NullTracer), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "key out of range")]
+    fn out_of_range_key_panics() {
+        let mut o = oram(8, PosMapKind::LinearScan, 1);
+        o.read(8, &mut NullTracer);
+    }
+
+    #[test]
+    fn recursive_posmap_large() {
+        // Large enough to force a genuinely recursive position map
+        // (1024 keys → 64 posmap blocks → recursive with linear base).
+        let mut o = oram(1024, PosMapKind::Recursive, 31);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        for _ in 0..300 {
+            let key = rng.gen_range(0..1024u32);
+            let v = rng.gen::<u64>() >> 1;
+            o.write(key, v, &mut NullTracer);
+            model.insert(key, v);
+        }
+        for (k, v) in model {
+            assert_eq!(o.read(k, &mut NullTracer), v, "key {k}");
+        }
+    }
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+}

@@ -1,0 +1,219 @@
+//! The client side of the RA-established secure channel.
+//!
+//! Mirrors Algorithm 1: during provisioning each client verifies the
+//! enclave quote and derives a session key; each round it encrypts its
+//! sparsified gradient encoding under that key with a monotone nonce.
+
+use olive_crypto::dh::DhKeyPair;
+use olive_crypto::gcm::AesGcm;
+use olive_crypto::hkdf::Hkdf;
+
+use crate::attestation::{verify_quote, AttestationError, Measurement, Quote};
+use crate::enclave::{nonce_bytes, session_info};
+use crate::UserId;
+
+/// An encrypted client→enclave upload.
+#[derive(Clone, Debug)]
+pub struct SealedMessage {
+    /// Sender.
+    pub user: UserId,
+    /// FL round this payload belongs to (authenticated, not secret).
+    pub round: u64,
+    /// Monotone per-user nonce counter.
+    pub nonce_counter: u64,
+    /// AES-GCM ciphertext ∥ tag.
+    pub ciphertext: Vec<u8>,
+}
+
+impl SealedMessage {
+    /// Associated data binding sender identity and round into the AEAD.
+    pub fn aad(&self) -> Vec<u8> {
+        let mut aad = b"olive-upload-v1:".to_vec();
+        aad.extend_from_slice(&self.user.to_be_bytes());
+        aad.extend_from_slice(&self.round.to_be_bytes());
+        aad
+    }
+}
+
+/// A client's attested session with the enclave.
+pub struct ClientSession {
+    user: UserId,
+    key: [u8; 32],
+    dh: DhKeyPair,
+    nonce_counter: u64,
+}
+
+impl core::fmt::Debug for ClientSession {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Key material is intentionally redacted.
+        f.debug_struct("ClientSession")
+            .field("user", &self.user)
+            .field("nonce_counter", &self.nonce_counter)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClientSession {
+    /// Verifies the enclave `quote` against the pinned `platform_public`
+    /// key and `expected_measurement`, then completes the DH exchange.
+    ///
+    /// On success the caller must deliver [`ClientSession::dh_public`] to
+    /// the enclave (`Enclave::register_client`) to finish provisioning.
+    pub fn establish(
+        user: UserId,
+        platform_public: u64,
+        expected_measurement: &Measurement,
+        quote: &Quote,
+        seed: [u8; 32],
+    ) -> Result<Self, AttestationError> {
+        verify_quote(platform_public, expected_measurement, quote)?;
+        let mut dh_seed = seed;
+        dh_seed[30] ^= user as u8;
+        dh_seed[29] ^= (user >> 8) as u8;
+        let dh = DhKeyPair::from_seed(&dh_seed);
+        let shared = dh.shared_secret(quote.report.enclave_dh_public);
+        let key: [u8; 32] = Hkdf::derive(
+            &quote.report.transcript_hash(),
+            &shared,
+            &session_info(user),
+            32,
+        )
+        .try_into()
+        .expect("hkdf returns requested length");
+        Ok(ClientSession { user, key, dh, nonce_counter: 0 })
+    }
+
+    /// The client's DH share the enclave needs to derive the same key.
+    pub fn dh_public(&self) -> u64 {
+        self.dh.public
+    }
+
+    /// The user id this session belongs to.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Encrypts one round's gradient encoding.
+    pub fn seal_upload(&mut self, round: u64, payload: &[u8]) -> SealedMessage {
+        self.nonce_counter += 1;
+        let mut msg = SealedMessage {
+            user: self.user,
+            round,
+            nonce_counter: self.nonce_counter,
+            ciphertext: Vec::new(),
+        };
+        let gcm = AesGcm::new(&self.key).expect("32-byte key");
+        msg.ciphertext = gcm.seal(&nonce_bytes(self.nonce_counter), payload, &msg.aad());
+        msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attestation::AttestationService;
+    use crate::enclave::{Enclave, EnclaveConfig, TeeError};
+
+    fn setup() -> (AttestationService, Enclave, Quote) {
+        let service = AttestationService::new([9u8; 32]);
+        let mut enclave = Enclave::launch(&EnclaveConfig::default(), [7u8; 32]);
+        let quote = enclave.attest(&service, b"test");
+        (service, enclave, quote)
+    }
+
+    #[test]
+    fn end_to_end_handshake_and_upload() {
+        let (service, mut enclave, quote) = setup();
+        let m = enclave.measurement();
+        let mut client =
+            ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
+        enclave.register_client(17, client.dh_public());
+        enclave.begin_round(vec![17, 18]);
+
+        let msg = client.seal_upload(0, b"sparse-gradient-bytes");
+        assert_eq!(enclave.open_upload(&msg).unwrap(), b"sparse-gradient-bytes");
+    }
+
+    #[test]
+    fn unsampled_user_rejected() {
+        let (service, mut enclave, quote) = setup();
+        let m = enclave.measurement();
+        let mut client =
+            ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
+        enclave.register_client(17, client.dh_public());
+        enclave.begin_round(vec![18]);
+        let msg = client.seal_upload(0, b"x");
+        assert_eq!(enclave.open_upload(&msg).unwrap_err(), TeeError::NotSampled);
+    }
+
+    #[test]
+    fn unregistered_user_rejected() {
+        let (service, mut enclave, quote) = setup();
+        let m = enclave.measurement();
+        let mut client =
+            ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
+        enclave.begin_round(vec![17]);
+        let msg = client.seal_upload(0, b"x");
+        assert_eq!(enclave.open_upload(&msg).unwrap_err(), TeeError::UnknownUser);
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (service, mut enclave, quote) = setup();
+        let m = enclave.measurement();
+        let mut client =
+            ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
+        enclave.register_client(17, client.dh_public());
+        enclave.begin_round(vec![17]);
+        let msg = client.seal_upload(0, b"x");
+        assert!(enclave.open_upload(&msg).is_ok());
+        assert_eq!(enclave.open_upload(&msg).unwrap_err(), TeeError::Replay);
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let (service, mut enclave, quote) = setup();
+        let m = enclave.measurement();
+        let mut client =
+            ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
+        enclave.register_client(17, client.dh_public());
+        enclave.begin_round(vec![17]);
+        let mut msg = client.seal_upload(0, b"x");
+        msg.ciphertext[0] ^= 1;
+        assert_eq!(enclave.open_upload(&msg).unwrap_err(), TeeError::AuthFailure);
+    }
+
+    #[test]
+    fn cross_user_key_isolation() {
+        // User 18's key cannot decrypt user 17's upload even if the server
+        // relabels the message.
+        let (service, mut enclave, quote) = setup();
+        let m = enclave.measurement();
+        let mut c17 =
+            ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
+        let c18 =
+            ClientSession::establish(18, service.public_key(), &m, &quote, [6u8; 32]).unwrap();
+        enclave.register_client(17, c17.dh_public());
+        enclave.register_client(18, c18.dh_public());
+        enclave.begin_round(vec![17, 18]);
+        let mut msg = c17.seal_upload(0, b"secret");
+        msg.user = 18; // server tries to attribute the payload to user 18
+        assert_eq!(enclave.open_upload(&msg).unwrap_err(), TeeError::AuthFailure);
+    }
+
+    #[test]
+    fn client_refuses_wrong_enclave() {
+        let (service, mut enclave, _quote) = setup();
+        // A different (e.g. malicious) enclave attests successfully but has
+        // the wrong measurement.
+        let mut evil_cfg = EnclaveConfig::default();
+        evil_cfg.code_identity = "olive-aggregator-with-backdoor".into();
+        let mut evil = Enclave::launch(&evil_cfg, [8u8; 32]);
+        let evil_quote = evil.attest(&service, b"test");
+        let expected = enclave.measurement();
+        let err = ClientSession::establish(1, service.public_key(), &expected, &evil_quote, [5; 32])
+            .unwrap_err();
+        assert_eq!(err, AttestationError::WrongMeasurement);
+        let _ = &mut enclave;
+    }
+}

@@ -1,0 +1,308 @@
+//! The simulated enclave: lifecycle, key store, sealing, EPC accounting.
+
+use std::collections::HashMap;
+
+use olive_crypto::dh::DhKeyPair;
+use olive_crypto::gcm::{AesGcm, NONCE_LEN};
+use olive_crypto::hkdf::Hkdf;
+
+use crate::attestation::{measure, AttestationService, Measurement, Quote, Report};
+use crate::channel::SealedMessage;
+use crate::UserId;
+
+/// Errors surfaced by enclave operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TeeError {
+    /// Decryption/verification of a client upload failed.
+    AuthFailure,
+    /// The sender has no registered session key (no RA handshake).
+    UnknownUser,
+    /// The upload named a user not selected for this round
+    /// (Algorithm 1 line 9's check).
+    NotSampled,
+    /// The requested scratch allocation exceeds the configured EPC budget.
+    EpcExceeded,
+    /// A replayed or out-of-order nonce was detected.
+    Replay,
+}
+
+impl core::fmt::Display for TeeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            TeeError::AuthFailure => "client payload failed authentication",
+            TeeError::UnknownUser => "no session key for user (remote attestation missing)",
+            TeeError::NotSampled => "user not in this round's sample",
+            TeeError::EpcExceeded => "enclave working set exceeds EPC budget",
+            TeeError::Replay => "nonce replay detected",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for TeeError {}
+
+/// Static enclave configuration, part of the measurement.
+#[derive(Clone, Debug)]
+pub struct EnclaveConfig {
+    /// Human-readable code identity (stands in for the signed binary).
+    pub code_identity: String,
+    /// Usable EPC bytes (the paper's machine: 96 MB).
+    pub epc_bytes: u64,
+}
+
+impl Default for EnclaveConfig {
+    fn default() -> Self {
+        EnclaveConfig { code_identity: "olive-oblivious-aggregator-v1".to_string(), epc_bytes: 96 << 20 }
+    }
+}
+
+/// Tracks the enclave's scratch working set against the EPC limit.
+///
+/// The aggregation algorithms report their buffer sizes here; Section 5.3's
+/// grouping optimization exists precisely to keep this under `limit`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpcBudget {
+    /// Configured usable EPC bytes.
+    pub limit: u64,
+    /// Current live scratch bytes.
+    pub live: u64,
+    /// High-water mark.
+    pub peak: u64,
+}
+
+impl EpcBudget {
+    /// Records an allocation. Never fails — exceeding EPC is *legal* (the
+    /// OS pages), just slow; callers compare `peak` to `limit` to predict
+    /// paging, and [`EpcBudget::would_page`] answers it directly.
+    pub fn alloc(&mut self, bytes: u64) {
+        self.live += bytes;
+        self.peak = self.peak.max(self.live);
+    }
+
+    /// Records a release.
+    pub fn free(&mut self, bytes: u64) {
+        self.live = self.live.saturating_sub(bytes);
+    }
+
+    /// True if the recorded peak exceeds the EPC limit, i.e. the kernel
+    /// would have had to page encrypted memory (the Figure 10 cliff).
+    pub fn would_page(&self) -> bool {
+        self.peak > self.limit
+    }
+}
+
+/// The simulated enclave.
+///
+/// Holds the RA key store (`user → AES-GCM session key`, Algorithm 1
+/// line 1), the per-round sample set used for upload verification
+/// (line 9), replay protection, sealing keys, and EPC accounting.
+pub struct Enclave {
+    measurement: Measurement,
+    dh: DhKeyPair,
+    /// user id → session key bytes (32).
+    keystore: HashMap<UserId, [u8; 32]>,
+    /// user id → last accepted nonce counter (replay protection).
+    last_nonce: HashMap<UserId, u64>,
+    /// Users sampled for the current round (Algorithm 1 line 5).
+    round_sample: Vec<UserId>,
+    /// Monotone sealing key derived from the measurement + platform secret.
+    sealing_key: [u8; 32],
+    /// EPC accounting.
+    pub epc: EpcBudget,
+    transcript_salt: [u8; 32],
+}
+
+impl Enclave {
+    /// Creates and "launches" an enclave: computes its measurement and an
+    /// ephemeral DH key pair from `seed`.
+    pub fn launch(config: &EnclaveConfig, seed: [u8; 32]) -> Self {
+        let measurement = measure(&config.code_identity, &config.epc_bytes.to_be_bytes());
+        let mut dh_seed = seed;
+        dh_seed[31] ^= 0x3C;
+        let dh = DhKeyPair::from_seed(&dh_seed);
+        let sealing_key: [u8; 32] = Hkdf::derive(&measurement, &seed, b"olive-sealing-v1", 32)
+            .try_into()
+            .expect("hkdf returns requested length");
+        Enclave {
+            measurement,
+            dh,
+            keystore: HashMap::new(),
+            last_nonce: HashMap::new(),
+            round_sample: Vec::new(),
+            sealing_key,
+            epc: EpcBudget { limit: config.epc_bytes, ..Default::default() },
+            transcript_salt: [0u8; 32],
+        }
+    }
+
+    /// The enclave's measurement (what clients must pin).
+    pub fn measurement(&self) -> Measurement {
+        self.measurement
+    }
+
+    /// Produces the attestation report and obtains a platform quote.
+    pub fn attest(&mut self, service: &AttestationService, user_data: &[u8]) -> Quote {
+        let report = Report {
+            measurement: self.measurement,
+            enclave_dh_public: self.dh.public,
+            user_data: user_data.to_vec(),
+        };
+        self.transcript_salt = report.transcript_hash();
+        service.quote(report)
+    }
+
+    /// Completes the RA key exchange for one client: derives and stores the
+    /// session key from the client's DH public value (enclave side of
+    /// Algorithm 1 line 1).
+    pub fn register_client(&mut self, user: UserId, client_dh_public: u64) {
+        let shared = self.dh.shared_secret(client_dh_public);
+        let key: [u8; 32] = Hkdf::derive(
+            &self.transcript_salt,
+            &shared,
+            &session_info(user),
+            32,
+        )
+        .try_into()
+        .expect("hkdf returns requested length");
+        self.keystore.insert(user, key);
+    }
+
+    /// Number of registered clients.
+    pub fn registered_clients(&self) -> usize {
+        self.keystore.len()
+    }
+
+    /// Sets the sampled user set for the current round (the enclave
+    /// memorizes `Q_t`; Algorithm 1 line 5).
+    pub fn begin_round(&mut self, sampled: Vec<UserId>) {
+        self.round_sample = sampled;
+    }
+
+    /// The current round's sample (read-only).
+    pub fn round_sample(&self) -> &[UserId] {
+        &self.round_sample
+    }
+
+    /// Verifies and decrypts one client upload (Algorithm 1 lines 8–11):
+    /// checks the user is sampled, fetches the session key, authenticates,
+    /// rejects replays, and returns the plaintext gradient encoding.
+    pub fn open_upload(&mut self, msg: &SealedMessage) -> Result<Vec<u8>, TeeError> {
+        if !self.round_sample.contains(&msg.user) {
+            return Err(TeeError::NotSampled);
+        }
+        let key = self.keystore.get(&msg.user).ok_or(TeeError::UnknownUser)?;
+        let last = self.last_nonce.get(&msg.user).copied().unwrap_or(0);
+        if msg.nonce_counter <= last {
+            return Err(TeeError::Replay);
+        }
+        let gcm = AesGcm::new(key).expect("32-byte key");
+        let nonce = nonce_bytes(msg.nonce_counter);
+        let plain = gcm
+            .open(&nonce, &msg.ciphertext, &msg.aad())
+            .map_err(|_| TeeError::AuthFailure)?;
+        self.last_nonce.insert(msg.user, msg.nonce_counter);
+        Ok(plain)
+    }
+
+    /// Encrypts enclave state for untrusted storage (sealing).
+    pub fn seal(&self, plaintext: &[u8], label: &[u8]) -> Vec<u8> {
+        let gcm = AesGcm::new(&self.sealing_key).expect("32-byte key");
+        // Sealing nonce: fixed per label; sealing the same label twice in
+        // this simulation overwrites, which matches monotonic state.
+        let mut nonce = [0u8; NONCE_LEN];
+        let lh = crate::attestation::digest(label);
+        nonce.copy_from_slice(&lh[..NONCE_LEN]);
+        gcm.seal(&nonce, plaintext, label)
+    }
+
+    /// Decrypts sealed state.
+    pub fn unseal(&self, sealed: &[u8], label: &[u8]) -> Result<Vec<u8>, TeeError> {
+        let gcm = AesGcm::new(&self.sealing_key).expect("32-byte key");
+        let mut nonce = [0u8; NONCE_LEN];
+        let lh = crate::attestation::digest(label);
+        nonce.copy_from_slice(&lh[..NONCE_LEN]);
+        gcm.open(&nonce, sealed, label).map_err(|_| TeeError::AuthFailure)
+    }
+
+    /// Signs bytes with a key only the enclave holds, so clients can verify
+    /// the aggregated model was produced inside the enclave (the
+    /// malicious-server defense discussed in Section 5.6).
+    pub fn sign_output(&self, payload: &[u8]) -> [u8; 32] {
+        olive_crypto::hmac::HmacSha256::mac(&self.sealing_key, payload)
+    }
+
+    /// Verifies an output signature (in the simulation the "public" verify
+    /// key equals the sealing MAC key; a deployment would use the Schnorr
+    /// pair — see Section 5.6 discussion).
+    pub fn verify_output(&self, payload: &[u8], tag: &[u8; 32]) -> bool {
+        olive_crypto::hmac::HmacSha256::verify(&self.sealing_key, payload, tag)
+    }
+}
+
+/// Session-key derivation info string, shared by enclave and client.
+pub(crate) fn session_info(user: UserId) -> Vec<u8> {
+    let mut v = b"olive-session-key-v1:".to_vec();
+    v.extend_from_slice(&user.to_be_bytes());
+    v
+}
+
+/// Deterministic 96-bit nonce from a counter (client keeps it monotone).
+pub(crate) fn nonce_bytes(counter: u64) -> [u8; NONCE_LEN] {
+    let mut n = [0u8; NONCE_LEN];
+    n[4..].copy_from_slice(&counter.to_be_bytes());
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epc_budget_accounting() {
+        let mut b = EpcBudget { limit: 100, ..Default::default() };
+        b.alloc(60);
+        b.alloc(30);
+        assert_eq!(b.peak, 90);
+        assert!(!b.would_page());
+        b.free(30);
+        b.alloc(50);
+        assert_eq!(b.peak, 110);
+        assert!(b.would_page());
+    }
+
+    #[test]
+    fn launch_is_deterministic_in_config() {
+        let cfg = EnclaveConfig::default();
+        let a = Enclave::launch(&cfg, [1; 32]);
+        let b = Enclave::launch(&cfg, [2; 32]);
+        assert_eq!(a.measurement(), b.measurement(), "measurement is code identity only");
+        let mut cfg2 = EnclaveConfig::default();
+        cfg2.code_identity = "different".into();
+        let c = Enclave::launch(&cfg2, [1; 32]);
+        assert_ne!(a.measurement(), c.measurement());
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let e = Enclave::launch(&EnclaveConfig::default(), [3; 32]);
+        let sealed = e.seal(b"keystore state", b"keystore");
+        assert_eq!(e.unseal(&sealed, b"keystore").unwrap(), b"keystore state");
+        assert_eq!(e.unseal(&sealed, b"other-label").unwrap_err(), TeeError::AuthFailure);
+    }
+
+    #[test]
+    fn sealed_data_bound_to_enclave_identity() {
+        let e1 = Enclave::launch(&EnclaveConfig::default(), [3; 32]);
+        let e2 = Enclave::launch(&EnclaveConfig::default(), [4; 32]);
+        let sealed = e1.seal(b"state", b"l");
+        assert!(e2.unseal(&sealed, b"l").is_err(), "different platform seed, different key");
+    }
+
+    #[test]
+    fn output_signature_roundtrip() {
+        let e = Enclave::launch(&EnclaveConfig::default(), [5; 32]);
+        let tag = e.sign_output(b"aggregated model v3");
+        assert!(e.verify_output(b"aggregated model v3", &tag));
+        assert!(!e.verify_output(b"tampered model", &tag));
+    }
+}

@@ -1,0 +1,76 @@
+//! Attack & defense, side by side (the paper's core story).
+//!
+//! Runs the *same* federated deployment twice:
+//!   1. with the plain linear aggregation (Proposition 3.2: leaky) —
+//!      mounts Algorithm 2's label-inference attack from the observed
+//!      memory trace and prints the recovered labels;
+//!   2. with the oblivious Advanced aggregation (Proposition 5.2) —
+//!      shows the identical attack collapsing to chance.
+//!
+//! Run with: `cargo run --release -p olive-examples --bin attack_and_defense`
+
+use olive_attack::{run_attack, AttackMethod, AttackPipelineConfig};
+use olive_core::aggregation::AggregatorKind;
+use olive_core::olive::{OliveConfig, OliveSystem};
+use olive_data::synthetic::{Generator, SyntheticConfig};
+use olive_data::{partition, LabelAssignment};
+use olive_fl::{ClientConfig, Sparsifier};
+use olive_nn::zoo::mlp;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build(aggregator: AggregatorKind) -> (OliveSystem, olive_data::Dataset) {
+    let generator = Generator::new(SyntheticConfig::tiny(48, 6), 31);
+    let clients = partition(&generator, 24, LabelAssignment::Fixed(1), 30, 11);
+    let model = mlp(48, 16, 6, 0.0, 5);
+    let d = model.param_count();
+    let cfg = OliveConfig {
+        n_clients: 24,
+        sample_rate: 0.75,
+        client: ClientConfig {
+            epochs: 2,
+            batch_size: 10,
+            lr: 0.25,
+            sparsifier: Sparsifier::TopK(d / 20),
+            clip: None,
+        },
+        aggregator,
+        server_lr: 0.5,
+        dp: None,
+        seed: 4321,
+    };
+    let system = OliveSystem::new(model, clients, cfg);
+    let mut rng = SmallRng::seed_from_u64(77);
+    let pool = generator.sample_balanced(30, &mut rng);
+    (system, pool)
+}
+
+fn mount(name: &str, aggregator: AggregatorKind) {
+    println!("\n--- {name} ---");
+    let (mut system, pool) = build(aggregator);
+    let cfg = AttackPipelineConfig::new(AttackMethod::Jaccard, Some(1));
+    let outcome = run_attack(&mut system, &pool, &cfg);
+    for r in outcome.per_user.iter().take(6) {
+        println!(
+            "  user {:>2}: true label {:?} → inferred {:?} {}",
+            r.user,
+            r.truth,
+            r.inferred,
+            if r.truth == r.inferred { "LEAKED" } else { "(wrong)" }
+        );
+    }
+    println!(
+        "  attack success over {} victims: all = {:.0}%, top-1 = {:.0}%",
+        outcome.metrics.evaluated,
+        outcome.metrics.all * 100.0,
+        outcome.metrics.top1 * 100.0,
+    );
+}
+
+fn main() {
+    println!("Each of 24 clients holds ONE sensitive label (think: a cancer subtype).");
+    println!("The semi-honest server watches the enclave's memory access pattern.");
+    mount("linear aggregation (vulnerable)", AggregatorKind::NonOblivious);
+    mount("Olive's Advanced aggregation (oblivious)", AggregatorKind::Advanced);
+    println!("\nSame protocol, same crypto — the only difference is the access pattern.");
+}

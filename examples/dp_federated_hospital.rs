@@ -1,0 +1,74 @@
+//! DP-FL in Olive (Algorithm 6): the hospital scenario from the paper's
+//! introduction.
+//!
+//! A consortium of 40 clinics trains a diagnosis model. Each clinic's
+//! label mix is sensitive (which cancer subtypes it treats). Olive gives
+//! them client-level central DP **and** side-channel protection: clipping
+//! on the client, Gaussian noise inside the enclave, oblivious
+//! aggregation, and a live (ε, δ) budget from the RDP accountant.
+//!
+//! Run with: `cargo run --release -p olive-examples --bin dp_federated_hospital`
+
+use olive_core::aggregation::AggregatorKind;
+use olive_core::olive::{DpConfig, OliveConfig, OliveSystem};
+use olive_data::synthetic::{Generator, SyntheticConfig};
+use olive_data::{partition, LabelAssignment};
+use olive_dp::sigma_theorem_d8;
+use olive_fl::{ClientConfig, Sparsifier};
+use olive_memsim::NullTracer;
+use olive_nn::zoo::mlp;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let rounds = 12u64;
+    let (n_clinics, q) = (40usize, 0.4f64);
+    // Pick sigma from the paper's closed form (Theorem D.8) for a target
+    // (8.0, 1e-5)-DP budget over the planned rounds, then let the tight
+    // accountant report the actually-spent epsilon as training progresses.
+    // (Client-level DP at a 40-clinic cohort is intrinsically noisy — the
+    // paper's Appendix D runs N = 1000; the point here is the machinery.)
+    let sigma = sigma_theorem_d8(8.0, 1e-5, q, rounds);
+    println!("Theorem D.8 noise multiplier for (ε=8, δ=1e-5, q={q}, T={rounds}): σ = {sigma:.2}");
+
+    let generator = Generator::new(SyntheticConfig::tiny(80, 8), 12);
+    let clinics = partition(&generator, n_clinics, LabelAssignment::Random(3), 50, 3);
+    let model = mlp(80, 24, 8, 0.0, 6);
+    let d = model.param_count();
+    let cfg = OliveConfig {
+        n_clients: n_clinics,
+        sample_rate: q,
+        client: ClientConfig {
+            epochs: 2,
+            batch_size: 10,
+            lr: 0.25,
+            sparsifier: Sparsifier::TopK(d / 10),
+            clip: None, // the DP config below supplies the clip bound
+        },
+        aggregator: AggregatorKind::Grouped { h: 8 },
+        server_lr: 1.0,
+        dp: Some(DpConfig { sigma, clip: 1.0, delta: 1e-5 }),
+        seed: 888,
+    };
+    let mut system = OliveSystem::new(model, clinics, cfg);
+
+    let mut rng = SmallRng::seed_from_u64(55);
+    let test = generator.sample_balanced(40, &mut rng);
+    println!("round | clinics | test acc | ε spent (δ=1e-5)");
+    for _ in 0..rounds {
+        let report = system.run_round(&mut NullTracer);
+        let (_, acc) = system.server.model.evaluate(&test.features, &test.labels, 64);
+        println!(
+            "{:>5} | {:>7} | {:>7.1}% | {:.3}",
+            report.round,
+            report.processed_users.len(),
+            acc * 100.0,
+            report.epsilon_spent.unwrap_or(f64::NAN),
+        );
+    }
+    println!(
+        "\nThe enclave released only differentially private models; the access pattern\n\
+         revealed nothing about which clinic treats which subtype (Grouped-Advanced is\n\
+         fully oblivious), and the spent ε stayed under the provisioned budget."
+    );
+}

@@ -1,0 +1,61 @@
+//! Remote attestation walkthrough: what a client checks before joining.
+//!
+//! Demonstrates the full provisioning handshake of Algorithm 1 line 1 —
+//! enclave measurement, platform quote, client verification, DH key
+//! exchange, encrypted upload — plus the two failure cases the protocol
+//! must catch: a forged quote and a genuine quote for the *wrong* enclave
+//! binary.
+//!
+//! Run with: `cargo run --release -p olive-examples --bin enclave_attestation`
+
+use olive_tee::attestation::verify_quote;
+use olive_tee::{AttestationService, ClientSession, Enclave, EnclaveConfig};
+
+fn main() {
+    // Platform provisioning (Intel's role, simulated).
+    let service = AttestationService::new([1u8; 32]);
+    println!("platform verification key: {:#018x}", service.public_key());
+
+    // The FL operator launches the aggregation enclave.
+    let config = EnclaveConfig::default();
+    let mut enclave = Enclave::launch(&config, [2u8; 32]);
+    println!("enclave measurement (MRENCLAVE): {}", hex(&enclave.measurement()));
+
+    // The enclave requests a quote binding its DH share.
+    let quote = enclave.attest(&service, b"olive-fl-v1 rounds<=100");
+    println!("quote obtained; report user_data = {:?}", String::from_utf8_lossy(&quote.report.user_data));
+
+    // A client verifies and joins.
+    let expected = enclave.measurement();
+    let mut client = ClientSession::establish(42, service.public_key(), &expected, &quote, [3u8; 32])
+        .expect("genuine enclave must verify");
+    enclave.register_client(42, client.dh_public());
+    println!("client 42: attestation OK, session key established");
+
+    // Round 0: encrypted gradient upload.
+    enclave.begin_round(vec![42]);
+    let upload = client.seal_upload(0, b"(sparse gradient cells would go here)");
+    let plain = enclave.open_upload(&upload).expect("authentic upload");
+    println!("enclave decrypted {} bytes from client 42", plain.len());
+
+    // Failure case 1: a forged quote (wrong platform key).
+    let rogue_service = AttestationService::new([9u8; 32]);
+    let rogue_quote = rogue_service.quote(quote.report.clone());
+    let err = verify_quote(service.public_key(), &expected, &rogue_quote).unwrap_err();
+    println!("forged quote rejected: {err}");
+
+    // Failure case 2: a genuine quote for a backdoored enclave binary.
+    let mut evil_cfg = EnclaveConfig::default();
+    evil_cfg.code_identity = "olive-aggregator-with-exfiltration".into();
+    let mut evil = Enclave::launch(&evil_cfg, [4u8; 32]);
+    let evil_quote = evil.attest(&service, b"olive-fl-v1 rounds<=100");
+    let err = ClientSession::establish(43, service.public_key(), &expected, &evil_quote, [5u8; 32])
+        .unwrap_err();
+    println!("wrong-measurement enclave rejected: {err}");
+
+    println!("\nper Algorithm 1: clients that fail attestation refuse to join the FL task.");
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

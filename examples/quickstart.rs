@@ -1,0 +1,67 @@
+//! Quickstart: oblivious federated learning in ~60 lines.
+//!
+//! Builds a small federated deployment (synthetic non-IID data, an MLP
+//! global model), provisions the simulated enclave via remote attestation,
+//! runs a few rounds with the fully oblivious Advanced aggregator
+//! (Algorithm 4), and prints the model's progress.
+//!
+//! Run with: `cargo run --release -p olive-examples --bin quickstart`
+
+use olive_core::aggregation::AggregatorKind;
+use olive_core::olive::{OliveConfig, OliveSystem};
+use olive_data::synthetic::{Generator, SyntheticConfig};
+use olive_data::{partition, LabelAssignment};
+use olive_fl::{ClientConfig, Sparsifier};
+use olive_memsim::NullTracer;
+use olive_nn::zoo::mlp;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A synthetic 10-class dataset, split non-IID across 30 clients
+    //    (each holds 2 labels — the sensitive attribute).
+    let generator = Generator::new(SyntheticConfig::tiny(64, 10), 7);
+    let clients = partition(&generator, 30, LabelAssignment::Fixed(2), 40, 7);
+
+    // 2. The global model and the FL configuration: top-k sparsification
+    //    at alpha = 5%, oblivious Advanced aggregation inside the enclave.
+    let model = mlp(64, 24, 10, 0.0, 7);
+    let d = model.param_count();
+    println!("global model: {} parameters, top-k = {}", d, d / 20);
+    let cfg = OliveConfig {
+        n_clients: 30,
+        sample_rate: 0.4,
+        client: ClientConfig {
+            epochs: 2,
+            batch_size: 10,
+            lr: 0.2,
+            sparsifier: Sparsifier::TopK(d / 20),
+            clip: None,
+        },
+        aggregator: AggregatorKind::Advanced,
+        server_lr: 1.0,
+        dp: None,
+        seed: 2024,
+    };
+
+    // 3. Provisioning performs remote attestation with all 30 clients and
+    //    stores per-user AES-GCM session keys in the enclave.
+    let mut system = OliveSystem::new(model, clients, cfg);
+
+    // 4. Run rounds. Every gradient is encrypted client-side, decrypted
+    //    only inside the enclave, and aggregated with a data-independent
+    //    memory access pattern.
+    let mut rng = SmallRng::seed_from_u64(99);
+    let test = generator.sample_balanced(30, &mut rng);
+    for round in 0..8 {
+        let report = system.run_round(&mut NullTracer);
+        let (loss, acc) = system.server.model.evaluate(&test.features, &test.labels, 64);
+        println!(
+            "round {round}: {} participants, test loss {loss:.3}, accuracy {:.1}%  (enclave-signed: {})",
+            report.processed_users.len(),
+            acc * 100.0,
+            system.verify_model_signature(report.round, &system.global_params(), &report.model_signature),
+        );
+    }
+    println!("\ndone — the server never saw a plaintext gradient or a data-dependent access.");
+}

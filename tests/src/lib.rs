@@ -1,0 +1,42 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use olive_core::aggregation::AggregatorKind;
+use olive_core::olive::{DpConfig, OliveConfig, OliveSystem};
+use olive_data::synthetic::{Dataset, Generator, SyntheticConfig};
+use olive_data::{partition, LabelAssignment};
+use olive_fl::{ClientConfig, Sparsifier};
+use olive_nn::zoo::mlp;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Canonical small deployment used across the integration tests:
+/// 16 clients, 5 classes, 1 label each, an MLP with ~1k parameters.
+pub fn small_system(
+    aggregator: AggregatorKind,
+    dp: Option<DpConfig>,
+    seed: u64,
+) -> (OliveSystem, Dataset) {
+    let generator = Generator::new(SyntheticConfig::tiny(32, 5), seed);
+    let clients = partition(&generator, 16, LabelAssignment::Fixed(1), 20, seed);
+    let model = mlp(32, 12, 5, 0.0, seed);
+    let d = model.param_count();
+    let cfg = OliveConfig {
+        n_clients: 16,
+        sample_rate: 0.6,
+        client: ClientConfig {
+            epochs: 2,
+            batch_size: 10,
+            lr: 0.25,
+            sparsifier: Sparsifier::TopK(d / 16),
+            clip: None,
+        },
+        aggregator,
+        server_lr: 0.8,
+        dp,
+        seed,
+    };
+    let system = OliveSystem::new(model, clients, cfg);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 1);
+    let pool = generator.sample_balanced(25, &mut rng);
+    (system, pool)
+}

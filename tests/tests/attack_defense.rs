@@ -1,0 +1,80 @@
+//! Integration: the attack against the full system, with and without the
+//! defense — the paper's end-to-end claim.
+
+use olive_attack::{run_attack, AttackMethod, AttackPipelineConfig, NnParams};
+use olive_core::aggregation::AggregatorKind;
+use olive_integration_tests::small_system;
+use olive_memsim::Granularity;
+
+#[test]
+fn attack_succeeds_against_linear_aggregation() {
+    let (mut sys, pool) = small_system(AggregatorKind::NonOblivious, None, 42);
+    let cfg = AttackPipelineConfig::new(AttackMethod::Jaccard, Some(1));
+    let outcome = run_attack(&mut sys, &pool, &cfg);
+    assert!(
+        outcome.metrics.all >= 0.6,
+        "attack should succeed well above the 20% random baseline, got {}",
+        outcome.metrics.all
+    );
+}
+
+#[test]
+fn attack_succeeds_at_cacheline_granularity() {
+    let (mut sys, pool) = small_system(AggregatorKind::NonOblivious, None, 43);
+    let mut cfg = AttackPipelineConfig::new(AttackMethod::Jaccard, Some(1));
+    cfg.granularity = Granularity::Cacheline;
+    let outcome = run_attack(&mut sys, &pool, &cfg);
+    assert!(
+        outcome.metrics.top1 >= 0.5,
+        "cacheline-level attack should retain signal, got {}",
+        outcome.metrics.top1
+    );
+}
+
+#[test]
+fn nn_method_works_end_to_end() {
+    let (mut sys, pool) = small_system(AggregatorKind::NonOblivious, None, 44);
+    let params = NnParams { hidden: 32, epochs: 60, lr: 0.3 };
+    let cfg = AttackPipelineConfig::new(AttackMethod::Nn(params), Some(1));
+    let outcome = run_attack(&mut sys, &pool, &cfg);
+    assert!(
+        outcome.metrics.top1 >= 0.5,
+        "NN attack should beat chance, got {}",
+        outcome.metrics.top1
+    );
+}
+
+#[test]
+fn every_oblivious_aggregator_stops_the_attack() {
+    for kind in [
+        AggregatorKind::Advanced,
+        AggregatorKind::Grouped { h: 3 },
+        AggregatorKind::Baseline { cacheline_weights: 1 },
+    ] {
+        let (mut sys, pool) = small_system(kind, None, 45);
+        let cfg = AttackPipelineConfig::new(AttackMethod::Jaccard, Some(1));
+        let outcome = run_attack(&mut sys, &pool, &cfg);
+        // 5 labels, 1 per client → random guessing = 20%. Allow noise
+        // headroom but demand the attack lose its signal.
+        assert!(
+            outcome.metrics.all <= 0.45,
+            "{kind:?} should reduce the attack to ~chance, got {}",
+            outcome.metrics.all
+        );
+    }
+}
+
+#[test]
+fn defense_does_not_change_the_learned_model() {
+    // "our previous algorithms do not degrade utility" (Section 5.5): the
+    // defended system converges identically to the vulnerable one.
+    let (mut vulnerable, pool) = small_system(AggregatorKind::NonOblivious, None, 46);
+    let (mut defended, _) = small_system(AggregatorKind::Advanced, None, 46);
+    for _ in 0..4 {
+        vulnerable.run_round(&mut olive_memsim::NullTracer);
+        defended.run_round(&mut olive_memsim::NullTracer);
+    }
+    let (_, acc_v) = vulnerable.server.model.evaluate(&pool.features, &pool.labels, 64);
+    let (_, acc_d) = defended.server.model.evaluate(&pool.features, &pool.labels, 64);
+    assert!((acc_v - acc_d).abs() < 1e-6, "identical trajectories: {acc_v} vs {acc_d}");
+}

@@ -1,0 +1,84 @@
+//! Section 3.3's generality claim, cross-crate: the index leak is
+//! independent of the wire encoding and of quantization. Whatever format
+//! the client transmits, the server decodes to positions before the
+//! dense update — and the access pattern is identical.
+
+use olive_core::aggregation::{aggregate, AggregatorKind};
+use olive_fl::encoding::{quantize_stochastic, BitmapEncoded};
+use olive_fl::SparseGradient;
+use olive_memsim::{trace_of, Granularity};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn updates() -> Vec<SparseGradient> {
+    vec![
+        SparseGradient {
+            dense_dim: 64,
+            indices: vec![2, 17, 40, 63],
+            values: vec![0.5, -1.5, 2.5, 0.25],
+        },
+        SparseGradient {
+            dense_dim: 64,
+            indices: vec![2, 9, 33],
+            values: vec![1.0, 1.0, 1.0],
+        },
+    ]
+}
+
+#[test]
+fn bitmap_encoding_produces_identical_leak() {
+    let pair_encoded = updates();
+    let bitmap_encoded: Vec<SparseGradient> = pair_encoded
+        .iter()
+        .map(|sg| BitmapEncoded::encode(sg).decode().expect("valid encoding"))
+        .collect();
+    let trace = |ups: &[SparseGradient]| {
+        trace_of(Granularity::Element, |tr| {
+            aggregate(AggregatorKind::NonOblivious, ups, 64, tr);
+        })
+    };
+    assert_eq!(
+        trace(&pair_encoded),
+        trace(&bitmap_encoded),
+        "the adversary sees the same access sequence whatever the wire format"
+    );
+}
+
+#[test]
+fn quantization_does_not_change_the_leak() {
+    let original = updates();
+    let mut quantized = updates();
+    let mut rng = SmallRng::seed_from_u64(5);
+    for sg in &mut quantized {
+        quantize_stochastic(sg, &mut rng);
+    }
+    // Values differ…
+    assert_ne!(original[0].values, quantized[0].values);
+    // …but the trace (hence the leaked index sets) is identical.
+    let trace = |ups: &[SparseGradient]| {
+        trace_of(Granularity::Element, |tr| {
+            aggregate(AggregatorKind::NonOblivious, ups, 64, tr);
+        })
+    };
+    assert_eq!(trace(&original), trace(&quantized));
+}
+
+#[test]
+fn defense_covers_alternative_encodings_too() {
+    // Obliviousness is a property of the aggregation algorithm, so it
+    // holds for bitmap-decoded updates exactly as for pair-decoded ones.
+    let a: Vec<SparseGradient> = updates()
+        .iter()
+        .map(|sg| BitmapEncoded::encode(sg).decode().unwrap())
+        .collect();
+    let b = vec![
+        SparseGradient { dense_dim: 64, indices: vec![0, 1, 2, 3], values: vec![9.0; 4] },
+        SparseGradient { dense_dim: 64, indices: vec![60, 61, 62], values: vec![-9.0; 3] },
+    ];
+    let trace = |ups: &[SparseGradient]| {
+        trace_of(Granularity::Element, |tr| {
+            aggregate(AggregatorKind::Advanced, ups, 64, tr);
+        })
+    };
+    assert_eq!(trace(&a), trace(&b));
+}

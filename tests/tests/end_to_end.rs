@@ -1,0 +1,93 @@
+//! End-to-end integration: provisioning → encrypted rounds → convergence,
+//! across every aggregation algorithm, with and without DP.
+
+use olive_core::aggregation::AggregatorKind;
+use olive_core::olive::DpConfig;
+use olive_integration_tests::small_system;
+use olive_memsim::NullTracer;
+use olive_oram::PosMapKind;
+
+#[test]
+fn every_aggregator_trains_the_same_model() {
+    // The oblivious algorithms are exact: given identical protocol
+    // randomness they must produce the identical global trajectory as the
+    // non-oblivious reference.
+    let mut reference = None;
+    for kind in [
+        AggregatorKind::NonOblivious,
+        AggregatorKind::Baseline { cacheline_weights: 16 },
+        AggregatorKind::Baseline { cacheline_weights: 1 },
+        AggregatorKind::Advanced,
+        AggregatorKind::Grouped { h: 3 },
+        AggregatorKind::PathOram { posmap: PosMapKind::LinearScan },
+    ] {
+        let (mut sys, _) = small_system(kind, None, 7);
+        for _ in 0..2 {
+            sys.run_round(&mut NullTracer);
+        }
+        let params = sys.global_params();
+        match &reference {
+            None => reference = Some(params),
+            Some(r) => {
+                for (i, (a, b)) in r.iter().zip(params.iter()).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-4,
+                        "{kind:?} diverged from reference at parameter {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn federated_training_converges_under_oblivious_aggregation() {
+    let (mut sys, pool) = small_system(AggregatorKind::Advanced, None, 21);
+    let (loss0, acc0) = sys.server.model.evaluate(&pool.features, &pool.labels, 64);
+    for _ in 0..10 {
+        sys.run_round(&mut NullTracer);
+    }
+    let (loss1, acc1) = sys.server.model.evaluate(&pool.features, &pool.labels, 64);
+    assert!(loss1 < loss0 * 0.8, "loss {loss0} -> {loss1}");
+    assert!(acc1 > acc0, "accuracy {acc0} -> {acc1}");
+    assert!(acc1 > 0.5, "final accuracy {acc1}");
+}
+
+#[test]
+fn model_signatures_verify_per_round() {
+    let (mut sys, _) = small_system(AggregatorKind::Grouped { h: 4 }, None, 3);
+    for _ in 0..3 {
+        let report = sys.run_round(&mut NullTracer);
+        let params = sys.global_params();
+        assert!(sys.verify_model_signature(report.round, &params, &report.model_signature));
+        // Wrong round → signature must fail (no cross-round replay).
+        assert!(!sys.verify_model_signature(report.round + 1, &params, &report.model_signature));
+    }
+}
+
+#[test]
+fn dp_mode_accumulates_budget_monotonically() {
+    let dp = DpConfig { sigma: 1.5, clip: 0.5, delta: 1e-5 };
+    let (mut sys, _) = small_system(AggregatorKind::Advanced, Some(dp), 5);
+    let mut last = 0.0f64;
+    for _ in 0..4 {
+        let report = sys.run_round(&mut NullTracer);
+        let eps = report.epsilon_spent.expect("dp mode reports epsilon");
+        assert!(eps > last, "epsilon must grow: {last} -> {eps}");
+        last = eps;
+    }
+    assert!(last < 50.0, "epsilon accounting went wild: {last}");
+}
+
+#[test]
+fn dp_noise_actually_perturbs_the_trajectory() {
+    let (mut clean, _) = small_system(AggregatorKind::Advanced, None, 11);
+    let dp = DpConfig { sigma: 1.0, clip: 0.5, delta: 1e-5 };
+    let (mut noised, _) = small_system(AggregatorKind::Advanced, Some(dp), 11);
+    clean.run_round(&mut NullTracer);
+    noised.run_round(&mut NullTracer);
+    let a = clean.global_params();
+    let b = noised.global_params();
+    let diff: f32 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+    assert!(diff > 1e-3, "DP noise must move the model ({diff})");
+}

@@ -1,0 +1,146 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use olive_core::aggregation::{aggregate, reference_average, AggregatorKind};
+use olive_fl::SparseGradient;
+use olive_memsim::{trace_of, Granularity, NullTracer, TrackedBuf};
+use olive_oblivious::sort::bitonic_sort_by_key;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: a set of sparse updates sharing dimension `d`, arbitrary
+/// (possibly colliding, unsorted-source) indices and finite values.
+fn updates_strategy(max_n: usize, d: usize) -> impl Strategy<Value = Vec<SparseGradient>> {
+    vec(
+        vec((0..d as u32, -100.0f32..100.0), 1..=16).prop_map(move |cells| {
+            let mut idxs: Vec<u32> = cells.iter().map(|(i, _)| *i).collect();
+            idxs.sort_unstable();
+            idxs.dedup();
+            let values = idxs
+                .iter()
+                .map(|i| cells.iter().find(|(j, _)| j == i).unwrap().1)
+                .collect();
+            SparseGradient { dense_dim: d, indices: idxs, values }
+        }),
+        1..=max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every aggregation algorithm equals the dense reference sum on
+    /// arbitrary inputs (duplicates across clients included).
+    #[test]
+    fn aggregators_match_reference(updates in updates_strategy(6, 48)) {
+        let d = 48;
+        let expected = reference_average(&updates, d);
+        for kind in [
+            AggregatorKind::NonOblivious,
+            AggregatorKind::Baseline { cacheline_weights: 16 },
+            AggregatorKind::Advanced,
+            AggregatorKind::Grouped { h: 2 },
+        ] {
+            let got = aggregate(kind, &updates, d, &mut NullTracer);
+            for (i, (a, b)) in got.iter().zip(expected.iter()).enumerate() {
+                prop_assert!((a - b).abs() < 1e-3,
+                    "{kind:?} coordinate {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// Advanced's trace is a pure function of the input shape: derive a
+    /// second input of identical shape (same n, same per-client k) but
+    /// different indices/values and require identical traces.
+    #[test]
+    fn advanced_trace_depends_only_on_shape(
+        a in updates_strategy(4, 32),
+        shift in 1u32..31,
+    ) {
+        let d = 32u32;
+        let b: Vec<SparseGradient> = a
+            .iter()
+            .map(|u| {
+                // Modular index shift preserves distinctness and count.
+                let mut indices: Vec<u32> =
+                    u.indices.iter().map(|i| (i + shift) % d).collect();
+                indices.sort_unstable();
+                let values = u.values.iter().map(|v| v * -0.5 + 1.0).collect();
+                SparseGradient { dense_dim: u.dense_dim, indices, values }
+            })
+            .collect();
+        let ta = trace_of(Granularity::Element, |tr| {
+            aggregate(AggregatorKind::Advanced, &a, 32, tr);
+        });
+        let tb = trace_of(Granularity::Element, |tr| {
+            aggregate(AggregatorKind::Advanced, &b, 32, tr);
+        });
+        prop_assert_eq!(ta, tb);
+    }
+
+    /// Bitonic sort sorts (against std) for arbitrary content and length.
+    #[test]
+    fn bitonic_sort_matches_std(data in vec(0u64..1_000_000, 0..200)) {
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let got = bitonic_sort_by_key(0, data, u64::MAX, |x| *x, &mut NullTracer);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Sparse encode/decode round-trips arbitrary well-formed gradients.
+    #[test]
+    fn sparse_gradient_codec_roundtrip(updates in updates_strategy(1, 64)) {
+        let sg = &updates[0];
+        let decoded = SparseGradient::decode(&sg.encode()).expect("well-formed");
+        prop_assert_eq!(&decoded, sg);
+    }
+
+    /// Oblivious scan read equals direct indexing for any index.
+    #[test]
+    fn o_scan_read_equals_direct(data in vec(0u64..u64::MAX, 1..64), idx in 0usize..64) {
+        prop_assume!(idx < data.len());
+        let buf = TrackedBuf::new(0, data.clone());
+        let got = olive_oblivious::o_scan_read(&buf, idx, &mut NullTracer);
+        prop_assert_eq!(got, data[idx]);
+    }
+
+    /// PathORAM agrees with a HashMap model under arbitrary op sequences.
+    #[test]
+    fn path_oram_matches_model(ops in vec((0u32..32, proptest::option::of(0u64..1000)), 1..60)) {
+        use olive_oram::{PathOram, PathOramConfig, PosMapKind};
+        let mut oram = PathOram::<u64>::new(
+            PathOramConfig {
+                capacity: 32,
+                stash_limit: 20,
+                posmap: PosMapKind::LinearScan,
+                region_base: 0,
+            },
+            9,
+        );
+        let mut model = std::collections::HashMap::new();
+        for (key, write) in ops {
+            match write {
+                Some(v) => {
+                    oram.write(key, v, &mut NullTracer);
+                    model.insert(key, v);
+                }
+                None => {
+                    let got = oram.read(key, &mut NullTracer);
+                    let want = model.get(&key).copied().unwrap_or(0);
+                    prop_assert_eq!(got, want, "key {}", key);
+                }
+            }
+        }
+    }
+
+    /// AES-GCM round-trips arbitrary payloads and rejects any bit flip.
+    #[test]
+    fn gcm_roundtrip_and_tamper(payload in vec(any::<u8>(), 0..256), flip in 0usize..256) {
+        let key = olive_crypto::AesGcm::new(&[3u8; 32]).unwrap();
+        let nonce = [5u8; 12];
+        let mut ct = key.seal(&nonce, &payload, b"it");
+        prop_assert_eq!(key.open(&nonce, &ct, b"it").unwrap(), payload);
+        let pos = flip % ct.len();
+        ct[pos] ^= 1;
+        prop_assert!(key.open(&nonce, &ct, b"it").is_err());
+    }
+}
