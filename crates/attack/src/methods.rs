@@ -134,8 +134,7 @@ pub fn score_all_users(
                 let observed = union(rounds.iter().map(|&t| obs.per_round[t][&user].clone()));
                 let scores = (0..labels)
                     .map(|l| {
-                        let teach =
-                            union(rounds.iter().map(|&t| teacher.per_round[t][l].clone()));
+                        let teach = union(rounds.iter().map(|&t| teacher.per_round[t][l].clone()));
                         jaccard(&observed, &teach)
                     })
                     .collect();
@@ -245,11 +244,9 @@ mod tests {
                 m.insert(u, feats);
             }
             obs.per_round.push(m);
-            teach.per_round.push(
-                (0..labels)
-                    .map(|l| (0..8).map(|j| (l * 8 + j) as u32).collect())
-                    .collect(),
-            );
+            teach
+                .per_round
+                .push((0..labels).map(|l| (0..8).map(|j| (l * 8 + j) as u32).collect()).collect());
         }
         (obs, teach)
     }

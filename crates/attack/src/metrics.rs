@@ -24,12 +24,7 @@ pub fn infer_label_set(scores: &[f64], known_count: Option<usize>) -> Vec<usize>
 
 /// The single highest-scoring label.
 pub fn top1_label(scores: &[f64]) -> usize {
-    scores
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+    scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
 }
 
 /// One victim's outcome.
@@ -124,12 +119,8 @@ mod tests {
 
     #[test]
     fn truth_order_does_not_matter() {
-        let results = vec![PerUserResult {
-            user: 0,
-            truth: vec![3, 1],
-            inferred: vec![1, 3],
-            top1: 3,
-        }];
+        let results =
+            vec![PerUserResult { user: 0, truth: vec![3, 1], inferred: vec![1, 3], top1: 3 }];
         let m = evaluate_inference(&results);
         assert_eq!(m.all, 1.0);
     }

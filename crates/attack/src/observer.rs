@@ -134,7 +134,13 @@ mod tests {
         ];
         let mut tr = RecordingTracer::with_events(Granularity::Element);
         aggregate(AggregatorKind::Advanced, &ups2, 64, &mut tr);
-        let b = observe_linear_aggregation(tr.events().unwrap(), &[10, 11], 3, 64, Granularity::Element);
+        let b = observe_linear_aggregation(
+            tr.events().unwrap(),
+            &[10, 11],
+            3,
+            64,
+            Granularity::Element,
+        );
         assert_eq!(a, b, "observed features must not depend on the secret indices");
     }
 

@@ -15,7 +15,9 @@ use olive_memsim::{Granularity, RecordingTracer};
 use olive_nn::Model;
 
 use crate::methods::{score_all_users, AttackMethod, ObservationLog, TeacherLog};
-use crate::metrics::{evaluate_inference, infer_label_set, top1_label, AttackMetrics, PerUserResult};
+use crate::metrics::{
+    evaluate_inference, infer_label_set, top1_label, AttackMetrics, PerUserResult,
+};
 use crate::observer::{feature_dim, observe_linear_aggregation};
 use crate::teacher::teacher_features;
 
@@ -219,11 +221,8 @@ mod tests {
         };
         let mut sys2 = OliveSystem::new(model2, clients2, cfg2);
         let outcome2 = run_attack(&mut sys2, &pool, &cfg);
-        for (a, b) in outcome
-            .observations
-            .per_round
-            .iter()
-            .zip(outcome2.observations.per_round.iter())
+        for (a, b) in
+            outcome.observations.per_round.iter().zip(outcome2.observations.per_round.iter())
         {
             let mut ka: Vec<_> = a.iter().collect();
             let mut kb: Vec<_> = b.iter().collect();
@@ -239,10 +238,6 @@ mod tests {
         let cfg = AttackPipelineConfig::new(AttackMethod::Jaccard, None);
         let outcome = run_attack(&mut sys, &pool, &cfg);
         // Success is harder without the size hint, but top-1 should hold.
-        assert!(
-            outcome.metrics.top1 > 0.5,
-            "top-1 {} should beat chance",
-            outcome.metrics.top1
-        );
+        assert!(outcome.metrics.top1 > 0.5, "top-1 {} should beat chance", outcome.metrics.top1);
     }
 }

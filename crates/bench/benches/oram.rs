@@ -14,21 +14,17 @@ fn bench_oram(c: &mut Criterion) {
             ("linear_scan", PosMapKind::LinearScan),
             ("recursive", PosMapKind::Recursive),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, capacity),
-                &capacity,
-                |b, &capacity| {
-                    let mut oram = PathOram::<u64>::new(
-                        PathOramConfig { capacity, stash_limit: 20, posmap, region_base: 0 },
-                        7,
-                    );
-                    let mut key = 0u32;
-                    b.iter(|| {
-                        key = (key + 101) % capacity as u32;
-                        oram.write(key, key as u64, &mut NullTracer);
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, capacity), &capacity, |b, &capacity| {
+                let mut oram = PathOram::<u64>::new(
+                    PathOramConfig { capacity, stash_limit: 20, posmap, region_base: 0 },
+                    7,
+                );
+                let mut key = 0u32;
+                b.iter(|| {
+                    key = (key + 101) % capacity as u32;
+                    oram.write(key, key as u64, &mut NullTracer);
+                })
+            });
         }
     }
     group.finish();

@@ -29,7 +29,7 @@ fn main() {
     show(tr.events().unwrap(), 12);
     let d1 = tr.digest();
     let mut tr2 = RecordingTracer::with_events(Granularity::Element);
-    aggregate_dense_linear(&vec![-9.0f32; 8], 4, 2, &mut tr2);
+    aggregate_dense_linear(&[-9.0f32; 8], 4, 2, &mut tr2);
     println!(
         "  digest(input A) == digest(input B): {}  (Proposition 3.1: oblivious)",
         d1 == tr2.digest()

@@ -10,10 +10,10 @@
 //! Flags: `--quick` (one dataset/method), `--all-datasets`,
 //! `--paper-scale`.
 
+use olive_attack::AttackMethod;
 use olive_bench::attack_exp::{run_experiment, AttackExperiment, Scale, Workload};
 use olive_bench::has_flag;
 use olive_bench::table::{pct, print_table};
-use olive_attack::AttackMethod;
 use olive_data::LabelAssignment;
 use olive_memsim::Granularity;
 
@@ -52,12 +52,7 @@ fn main() {
                     seed: 42 + labels as u64,
                 };
                 let (all, top1) = run_experiment(&exp, &scale);
-                rows.push(vec![
-                    mname.to_string(),
-                    labels.to_string(),
-                    pct(all),
-                    pct(top1),
-                ]);
+                rows.push(vec![mname.to_string(), labels.to_string(), pct(all), pct(top1)]);
                 eprintln!("{} / {mname} / {labels} labels done", workload.name());
             }
         }

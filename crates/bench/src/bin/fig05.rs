@@ -5,10 +5,10 @@
 //! Expected shape: lower `all` than Figure 4, but still far above chance
 //! for small maxima; `top-1` barely affected.
 
+use olive_attack::AttackMethod;
 use olive_bench::attack_exp::{run_experiment, AttackExperiment, Scale, Workload};
 use olive_bench::has_flag;
 use olive_bench::table::{pct, print_table};
-use olive_attack::AttackMethod;
 use olive_data::LabelAssignment;
 use olive_memsim::Granularity;
 

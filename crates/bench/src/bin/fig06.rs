@@ -5,10 +5,10 @@
 //! attack — the paper's headline CIFAR100 result (≈ 1.0 success at
 //! α = 0.3%).
 
+use olive_attack::AttackMethod;
 use olive_bench::attack_exp::{run_experiment, AttackExperiment, Scale, Workload};
 use olive_bench::has_flag;
 use olive_bench::table::{pct, print_table};
-use olive_attack::AttackMethod;
 use olive_data::LabelAssignment;
 use olive_memsim::Granularity;
 

@@ -5,10 +5,10 @@
 //! NN slightly better, Jac slightly worse. The well-known SGX cacheline
 //! channel is sufficient.
 
+use olive_attack::AttackMethod;
 use olive_bench::attack_exp::{run_experiment, AttackExperiment, Scale, Workload};
 use olive_bench::has_flag;
 use olive_bench::table::{pct, print_table};
-use olive_attack::AttackMethod;
 use olive_data::LabelAssignment;
 use olive_memsim::Granularity;
 

@@ -7,12 +7,12 @@
 //! per label (the paper: 10 samples/label ≈ full-pool performance on
 //! MNIST), weakening the attacker-knowledge assumption.
 
+use olive_attack::AttackMethod;
 use olive_bench::attack_exp::{
     run_experiment_with_pool_override, AttackExperiment, Scale, Workload,
 };
 use olive_bench::has_flag;
 use olive_bench::table::{pct, print_table};
-use olive_attack::AttackMethod;
 use olive_data::LabelAssignment;
 use olive_memsim::Granularity;
 

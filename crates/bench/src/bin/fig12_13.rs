@@ -6,10 +6,10 @@
 //! DP does not defend the side channel. This is the motivating result
 //! for Olive in CDP-FL (Appendix D.3).
 
+use olive_attack::AttackMethod;
 use olive_bench::attack_exp::{run_experiment, AttackExperiment, Scale, Workload};
 use olive_bench::has_flag;
 use olive_bench::table::{pct, print_table};
-use olive_attack::AttackMethod;
 use olive_data::LabelAssignment;
 use olive_memsim::Granularity;
 

@@ -7,11 +7,11 @@
 //! utility. The oblivious algorithms reach the floor at zero utility
 //! cost.
 
+use olive_attack::metrics::random_guess_all;
+use olive_attack::AttackMethod;
 use olive_bench::attack_exp::{run_experiment, AttackExperiment, Scale, Workload};
 use olive_bench::has_flag;
 use olive_bench::table::{pct, print_table};
-use olive_attack::metrics::random_guess_all;
-use olive_attack::AttackMethod;
 use olive_data::LabelAssignment;
 use olive_memsim::Granularity;
 

@@ -11,6 +11,9 @@ use olive_bench::attack_exp::{utility_run, Scale, Workload};
 use olive_bench::has_flag;
 use olive_bench::table::{pct, print_table};
 
+/// Per-round `(test_loss, test_accuracy, epsilon)` series from [`utility_run`].
+type LossSeries = Vec<(f32, f32, f64)>;
+
 fn main() {
     let scale = Scale::from_flags();
     let quick = has_flag("--quick");
@@ -18,7 +21,7 @@ fn main() {
     let rounds = if quick { 8 } else { 24 };
 
     let mut acc_rows = Vec::new();
-    let mut loss_tables: Vec<(f64, Vec<(f32, f32, f64)>)> = Vec::new();
+    let mut loss_tables: Vec<(f64, LossSeries)> = Vec::new();
     for &sigma in sigmas {
         let series = utility_run(Workload::MnistMlp, sigma, 0.1, rounds, &scale, 1500);
         let (final_loss, final_acc, eps) = *series.last().unwrap();

@@ -31,7 +31,8 @@ fn run_fl(central: bool, sigma: f64, scale: &Scale, seed: u64) -> f64 {
         },
         seed,
     );
-    let clients = partition(&gen, scale.n_clients, LabelAssignment::Fixed(2), scale.samples_per_client, seed);
+    let clients =
+        partition(&gen, scale.n_clients, LabelAssignment::Fixed(2), scale.samples_per_client, seed);
     let model = workload.build_model(false, seed);
     let d = model.param_count();
     let k = d / 10;
@@ -99,18 +100,8 @@ fn main() {
     let acc_ldp = run_fl(false, sigma, &scale, 21);
 
     let rows = vec![
-        vec![
-            "CDP-FL".into(),
-            "Trusted server".into(),
-            "Good".into(),
-            pct(acc_cdp),
-        ],
-        vec![
-            "LDP-FL".into(),
-            "Untrusted server".into(),
-            "Limited".into(),
-            pct(acc_ldp),
-        ],
+        vec!["CDP-FL".into(), "Trusted server".into(), "Good".into(), pct(acc_cdp)],
+        vec!["LDP-FL".into(), "Untrusted server".into(), "Limited".into(), pct(acc_ldp)],
         vec![
             "Shuffle DP-FL".into(),
             "Untrusted server + shuffler".into(),
@@ -125,7 +116,10 @@ fn main() {
         ],
     ];
     print_table(
-        &format!("Table 2: DP-FL schemes (measured at sigma={sigma}, no-noise acc={})", pct(acc_clean)),
+        &format!(
+            "Table 2: DP-FL schemes (measured at sigma={sigma}, no-noise acc={})",
+            pct(acc_clean)
+        ),
         &["Scheme", "Trust model", "Utility (paper)", "Utility (measured)"],
         &rows,
     );

@@ -12,7 +12,13 @@ use crate::time_once;
 /// with the given algorithm (untraced, i.e. the enclave's real compute;
 /// the paper's Figure 9 methodology). Returns `(seconds, working-set
 /// bytes)`.
-pub fn time_aggregation(kind: AggregatorKind, n: usize, k: usize, d: usize, seed: u64) -> (f64, u64) {
+pub fn time_aggregation(
+    kind: AggregatorKind,
+    n: usize,
+    k: usize,
+    d: usize,
+    seed: u64,
+) -> (f64, u64) {
     let updates = synthetic_updates(n, k, d, seed);
     let mut sink = 0.0f32;
     let secs = time_once(|| {
@@ -64,8 +70,11 @@ mod tests {
         // vs O(nk·d/16) separates by >10× at d = 64k.
         let d = 65_536;
         let updates = synthetic_updates(64, d / 100, d, 2);
-        let (t_base, _) =
-            time_aggregation_prebuilt(AggregatorKind::Baseline { cacheline_weights: 16 }, &updates, d);
+        let (t_base, _) = time_aggregation_prebuilt(
+            AggregatorKind::Baseline { cacheline_weights: 16 },
+            &updates,
+            d,
+        );
         let (t_adv, _) = time_aggregation_prebuilt(AggregatorKind::Advanced, &updates, d);
         assert!(
             t_adv < t_base,

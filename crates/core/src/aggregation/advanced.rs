@@ -38,7 +38,7 @@
 //! assert!((sums[3] - 0.5).abs() < 1e-6);
 //! ```
 
-use olive_memsim::{TrackedBuf, Tracer};
+use olive_memsim::{Tracer, TrackedBuf};
 use olive_oblivious::primitives::Oblivious;
 use olive_oblivious::sort::{bitonic_sort_pow2, next_pow2};
 
@@ -50,11 +50,7 @@ use super::linear::average_in_place;
 /// Computes the **un-averaged** dense sums via Algorithm 4, writing them
 /// into a fresh `G*` buffer which is returned for further (oblivious)
 /// processing. The trace depends only on `(cells.len(), d)`.
-pub(crate) fn sum_advanced<TR: Tracer>(
-    cells: &[u64],
-    d: usize,
-    tr: &mut TR,
-) -> TrackedBuf<f32> {
+pub(crate) fn sum_advanced<TR: Tracer>(cells: &[u64], d: usize, tr: &mut TR) -> TrackedBuf<f32> {
     // Step 1: initialization — g ← g ∥ {(j, 0)} for j ∈ [d], then pad to a
     // power of two with dummy cells (which carry the maximal index and
     // sort behind everything real).
@@ -151,11 +147,7 @@ mod tests {
     fn all_clients_same_index_collapses_to_one_run() {
         use olive_fl::SparseGradient;
         let updates: Vec<SparseGradient> = (0..5)
-            .map(|i| SparseGradient {
-                dense_dim: 8,
-                indices: vec![3],
-                values: vec![i as f32],
-            })
+            .map(|i| SparseGradient { dense_dim: 8, indices: vec![3], values: vec![i as f32] })
             .collect();
         let got = aggregate_advanced(&concat_cells(&updates), 8, 5, &mut NullTracer);
         assert!((got[3] - 2.0).abs() < 1e-6); // (0+1+2+3+4)/5
@@ -186,11 +178,7 @@ mod tests {
         use olive_fl::SparseGradient;
         // Input A: all 8 cells hit index 0. Input B: 8 distinct indices.
         let a = SparseGradient { dense_dim: 16, indices: vec![0; 8], values: vec![1.0; 8] };
-        let b = SparseGradient {
-            dense_dim: 16,
-            indices: (0..8).collect(),
-            values: vec![1.0; 8],
-        };
+        let b = SparseGradient { dense_dim: 16, indices: (0..8).collect(), values: vec![1.0; 8] };
         // (Duplicate indices within one client do not occur in top-k, but
         // the aggregate over clients routinely repeats indices; a single
         // update with repeats models the worst-case skew compactly.)

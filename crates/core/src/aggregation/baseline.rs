@@ -9,7 +9,7 @@
 //! — for a 16× speedup while remaining cacheline-level fully oblivious
 //! (Proposition 5.1). Complexity O(nk·d/c), space O(nk + d).
 
-use olive_memsim::{TrackedBuf, Tracer};
+use olive_memsim::{Tracer, TrackedBuf};
 use olive_oblivious::o_select;
 
 use crate::cell::{cell_index, cell_value};

@@ -13,7 +13,7 @@
 //! **per index**, so the padding volume scales with `d·(k/ε)·ln(1/δ)`,
 //! which for ML-scale `d` exceeds the nk + d working set of Algorithm 4.
 
-use olive_memsim::{TrackedBuf, Tracer};
+use olive_memsim::{Tracer, TrackedBuf};
 use olive_oblivious::shuffle::oblivious_shuffle;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -58,7 +58,7 @@ pub fn aggregate_dobliv<TR: Tracer>(
     let mut padded = cells.to_vec();
     for j in 0..d as u32 {
         let m = dummies_per_index(k, epsilon, delta, &mut rng);
-        padded.extend(std::iter::repeat(make_cell(j, 0.0)).take(m));
+        padded.extend(std::iter::repeat_n(make_cell(j, 0.0), m));
     }
     let shuffled = oblivious_shuffle(REGION_G, padded, &mut rng, tr);
 
@@ -92,15 +92,7 @@ mod tests {
     #[test]
     fn correct_despite_padding() {
         let updates = random_updates(4, 5, 24, 40);
-        let got = aggregate_dobliv(
-            &concat_cells(&updates),
-            24,
-            4,
-            1.0,
-            1e-3,
-            7,
-            &mut NullTracer,
-        );
+        let got = aggregate_dobliv(&concat_cells(&updates), 24, 4, 1.0, 1e-3, 7, &mut NullTracer);
         assert_close(&got, &reference_average(&updates, 24), 1e-4);
     }
 
@@ -141,9 +133,7 @@ mod tests {
         let mut seen = vec![0u64; 16];
         let accum_end = events.len() - 2 * 16;
         for a in &events[..accum_end] {
-            if a.region == crate::regions::REGION_G_STAR
-                && a.op == olive_memsim::Op::Read
-            {
+            if a.region == crate::regions::REGION_G_STAR && a.op == olive_memsim::Op::Read {
                 seen[(a.offset / 4) as usize] += 1;
             }
         }

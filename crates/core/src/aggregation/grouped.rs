@@ -11,7 +11,7 @@
 //! size against per-group overhead and is data-independent (Figure 11).
 
 use olive_fl::SparseGradient;
-use olive_memsim::{TrackedBuf, Tracer};
+use olive_memsim::{Tracer, TrackedBuf};
 
 use crate::cell::concat_cells;
 use crate::regions::REGION_G_STAR;

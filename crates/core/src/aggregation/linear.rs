@@ -7,7 +7,7 @@
 //! — statistical distance 1, not oblivious (Proposition 3.2). Both are
 //! implemented here; the sparse variant is the attack surface.
 
-use olive_memsim::{TrackedBuf, Tracer};
+use olive_memsim::{Tracer, TrackedBuf};
 
 use crate::cell::{cell_index, cell_value};
 use crate::regions::{REGION_G, REGION_G_STAR};
@@ -24,7 +24,12 @@ pub(crate) fn average_in_place<TR: Tracer>(gstar: &mut TrackedBuf<f32>, n: usize
 
 /// Dense-gradient aggregation: each client sends all `d` values in index
 /// order. `dense` is row-major `(n, d)`.
-pub fn aggregate_dense_linear<TR: Tracer>(dense: &[f32], d: usize, n: usize, tr: &mut TR) -> Vec<f32> {
+pub fn aggregate_dense_linear<TR: Tracer>(
+    dense: &[f32],
+    d: usize,
+    n: usize,
+    tr: &mut TR,
+) -> Vec<f32> {
     assert_eq!(dense.len(), n * d);
     let g = TrackedBuf::new(REGION_G, dense.to_vec());
     let mut gstar = TrackedBuf::<f32>::zeroed(REGION_G_STAR, d);
@@ -41,7 +46,12 @@ pub fn aggregate_dense_linear<TR: Tracer>(dense: &[f32], d: usize, n: usize, tr:
 
 /// Sparse-gradient aggregation — **the leaky path**. The `G*` accesses
 /// reveal every transmitted index to the trace.
-pub fn aggregate_sparse_linear<TR: Tracer>(cells: &[u64], d: usize, n: usize, tr: &mut TR) -> Vec<f32> {
+pub fn aggregate_sparse_linear<TR: Tracer>(
+    cells: &[u64],
+    d: usize,
+    n: usize,
+    tr: &mut TR,
+) -> Vec<f32> {
     let g = TrackedBuf::new(REGION_G, cells.to_vec());
     let mut gstar = TrackedBuf::<f32>::zeroed(REGION_G_STAR, d);
     for i in 0..g.len() {
@@ -58,8 +68,8 @@ pub fn aggregate_sparse_linear<TR: Tracer>(cells: &[u64], d: usize, n: usize, tr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::aggregation::test_support::*;
     use crate::aggregation::reference_average;
+    use crate::aggregation::test_support::*;
     use crate::cell::concat_cells;
     use olive_memsim::{assert_not_oblivious, assert_oblivious, Granularity, NullTracer};
 

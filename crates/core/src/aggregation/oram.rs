@@ -8,7 +8,7 @@
 //! SGX model) position-map work, the constant factor that Figure 9 shows
 //! dwarfing the task-specific Advanced algorithm.
 
-use olive_memsim::{TrackedBuf, Tracer};
+use olive_memsim::{Tracer, TrackedBuf};
 use olive_oram::{PathOram, PathOramConfig, PosMapKind};
 
 use crate::cell::{cell_index, cell_value};
@@ -63,8 +63,7 @@ mod tests {
         let updates = random_updates(4, 5, 32, 30);
         let expected = reference_average(&updates, 32);
         for posmap in [PosMapKind::Trusted, PosMapKind::LinearScan, PosMapKind::Recursive] {
-            let got =
-                aggregate_oram(&concat_cells(&updates), 32, 4, posmap, &mut NullTracer);
+            let got = aggregate_oram(&concat_cells(&updates), 32, 4, posmap, &mut NullTracer);
             assert_close(&got, &expected, 1e-4);
         }
     }
@@ -88,13 +87,8 @@ mod tests {
         let updates: Vec<SparseGradient> = (0..3)
             .map(|_| SparseGradient { dense_dim: 8, indices: vec![1], values: vec![2.0] })
             .collect();
-        let got = aggregate_oram(
-            &concat_cells(&updates),
-            8,
-            3,
-            PosMapKind::LinearScan,
-            &mut NullTracer,
-        );
+        let got =
+            aggregate_oram(&concat_cells(&updates), 8, 3, PosMapKind::LinearScan, &mut NullTracer);
         assert!((got[1] - 2.0).abs() < 1e-6);
     }
 }

@@ -70,7 +70,7 @@ mod tests {
 
     #[test]
     fn dummy_sorts_last() {
-        let mut cells = vec![dummy_cell(), make_cell(0, 1.0), make_cell(u32::MAX - 1, 1.0)];
+        let mut cells = [dummy_cell(), make_cell(0, 1.0), make_cell(u32::MAX - 1, 1.0)];
         cells.sort_unstable();
         assert_eq!(cell_index(cells[2]), DUMMY_INDEX);
     }

@@ -174,8 +174,7 @@ impl OliveSystem {
         // Lines 8–11: upload, verify, decrypt inside the enclave.
         let mut updates: Vec<SparseGradient> = Vec::with_capacity(sampled.len());
         for (&user, sparse) in sampled.iter().zip(local_results.iter()) {
-            let msg: SealedMessage =
-                self.sessions[user as usize].seal_upload(t, &sparse.encode());
+            let msg: SealedMessage = self.sessions[user as usize].seal_upload(t, &sparse.encode());
             let plain = self
                 .enclave
                 .open_upload(&msg)

@@ -214,12 +214,7 @@ fn inv_shift_rows(block: &mut [u8; 16]) {
 
 fn mix_columns(block: &mut [u8; 16]) {
     for col in 0..4 {
-        let c = [
-            block[4 * col],
-            block[4 * col + 1],
-            block[4 * col + 2],
-            block[4 * col + 3],
-        ];
+        let c = [block[4 * col], block[4 * col + 1], block[4 * col + 2], block[4 * col + 3]];
         block[4 * col] = gmul(c[0], 2) ^ gmul(c[1], 3) ^ c[2] ^ c[3];
         block[4 * col + 1] = c[0] ^ gmul(c[1], 2) ^ gmul(c[2], 3) ^ c[3];
         block[4 * col + 2] = c[0] ^ c[1] ^ gmul(c[2], 2) ^ gmul(c[3], 3);
@@ -229,12 +224,7 @@ fn mix_columns(block: &mut [u8; 16]) {
 
 fn inv_mix_columns(block: &mut [u8; 16]) {
     for col in 0..4 {
-        let c = [
-            block[4 * col],
-            block[4 * col + 1],
-            block[4 * col + 2],
-            block[4 * col + 3],
-        ];
+        let c = [block[4 * col], block[4 * col + 1], block[4 * col + 2], block[4 * col + 3]];
         block[4 * col] = gmul(c[0], 14) ^ gmul(c[1], 11) ^ gmul(c[2], 13) ^ gmul(c[3], 9);
         block[4 * col + 1] = gmul(c[0], 9) ^ gmul(c[1], 14) ^ gmul(c[2], 11) ^ gmul(c[3], 13);
         block[4 * col + 2] = gmul(c[0], 13) ^ gmul(c[1], 9) ^ gmul(c[2], 14) ^ gmul(c[3], 11);
@@ -247,10 +237,7 @@ mod tests {
     use super::*;
 
     fn from_hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     #[test]
@@ -296,10 +283,9 @@ mod tests {
 
     #[test]
     fn fips197_aes256() {
-        let aes = Aes::new(&from_hex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        ))
-        .unwrap();
+        let aes =
+            Aes::new(&from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"))
+                .unwrap();
         let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
         aes.encrypt_block(&mut block);
         assert_eq!(block.to_vec(), from_hex("8ea2b7ca516745bfeafc49904b496089"));

@@ -165,10 +165,7 @@ mod tests {
     use super::*;
 
     fn from_hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     fn hex(b: &[u8]) -> String {
@@ -190,10 +187,7 @@ mod tests {
         let g = AesGcm::new(&[0u8; 16]).unwrap();
         let nonce = [0u8; 12];
         let out = g.seal(&nonce, &from_hex("00000000000000000000000000000000"), b"");
-        assert_eq!(
-            hex(&out),
-            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
-        );
+        assert_eq!(hex(&out), "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf");
     }
 
     #[test]

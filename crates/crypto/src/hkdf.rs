@@ -48,10 +48,7 @@ mod tests {
     use super::*;
 
     fn from_hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     fn hex(b: &[u8]) -> String {
@@ -65,10 +62,7 @@ mod tests {
         let salt = from_hex("000102030405060708090a0b0c");
         let info = from_hex("f0f1f2f3f4f5f6f7f8f9");
         let prk = hkdf_extract(&salt, &ikm);
-        assert_eq!(
-            hex(&prk),
-            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
-        );
+        assert_eq!(hex(&prk), "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
         let okm = hkdf_expand(&prk, &info, 42);
         assert_eq!(
             hex(&okm),

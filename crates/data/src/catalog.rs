@@ -88,12 +88,7 @@ impl DatasetKind {
 
     /// All datasets in Table 1 order.
     pub fn all() -> [DatasetKind; 4] {
-        [
-            DatasetKind::Mnist,
-            DatasetKind::Cifar10,
-            DatasetKind::Purchase100,
-            DatasetKind::Cifar100,
-        ]
+        [DatasetKind::Mnist, DatasetKind::Cifar10, DatasetKind::Purchase100, DatasetKind::Cifar100]
     }
 }
 

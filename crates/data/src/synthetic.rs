@@ -196,7 +196,11 @@ impl Generator {
                 let raw = p as f64 + self.config.noise_std * gaussian(rng);
                 let v = if self.config.binary {
                     // Bernoulli on the signal: active coords mostly 1.
-                    if rng.gen::<f64>() < 0.5 + 0.45 * p as f64 { 1.0 } else { 0.0 }
+                    if rng.gen::<f64>() < 0.5 + 0.45 * p as f64 {
+                        1.0
+                    } else {
+                        0.0
+                    }
                 } else {
                     raw as f32
                 };

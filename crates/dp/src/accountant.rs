@@ -150,12 +150,9 @@ pub fn epsilon_for(q: f64, sigma: f64, rounds: u64, delta: f64) -> f64 {
 /// `σ² ≥ 7 q² T (ε + 2 log(1/δ)) / ε²` for ε < 2 log(1/δ).
 pub fn sigma_theorem_d8(epsilon: f64, delta: f64, q: f64, rounds: u64) -> f64 {
     assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
-    assert!(
-        epsilon < 2.0 * (1.0 / delta).ln(),
-        "Theorem D.8 requires ε < 2 log(1/δ)"
-    );
-    let sigma2 = 7.0 * q * q * rounds as f64 * (epsilon + 2.0 * (1.0 / delta).ln())
-        / (epsilon * epsilon);
+    assert!(epsilon < 2.0 * (1.0 / delta).ln(), "Theorem D.8 requires ε < 2 log(1/δ)");
+    let sigma2 =
+        7.0 * q * q * rounds as f64 * (epsilon + 2.0 * (1.0 / delta).ln()) / (epsilon * epsilon);
     sigma2.sqrt()
 }
 

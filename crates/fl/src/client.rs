@@ -27,7 +27,13 @@ impl ClientConfig {
     /// A small default: 2 epochs, batch 10, lr 0.1, top-k by ratio α on d.
     pub fn with_top_ratio(d: usize, alpha: f64) -> Self {
         let k = ((d as f64 * alpha).round() as usize).max(1);
-        ClientConfig { epochs: 2, batch_size: 10, lr: 0.1, sparsifier: Sparsifier::TopK(k), clip: None }
+        ClientConfig {
+            epochs: 2,
+            batch_size: 10,
+            lr: 0.1,
+            sparsifier: Sparsifier::TopK(k),
+            clip: None,
+        }
     }
 }
 

@@ -53,11 +53,7 @@ impl BitmapEncoded {
         if indices.len() != self.values.len() {
             return None; // bitmap popcount must equal the value count
         }
-        Some(SparseGradient {
-            dense_dim: self.dense_dim,
-            indices,
-            values: self.values.clone(),
-        })
+        Some(SparseGradient { dense_dim: self.dense_dim, indices, values: self.values.clone() })
     }
 
     /// Wire size in bytes — the communication saving that motivates this
@@ -129,11 +125,8 @@ mod tests {
         // Bitmap wins when k is large relative to d/ (32+32 bits per pair).
         let dense: Vec<f32> = (0..256).map(|i| i as f32).collect();
         let mut rng = SmallRng::seed_from_u64(0);
-        let heavy = SparseGradient::from_dense(
-            &dense,
-            crate::sparse::Sparsifier::TopK(128),
-            &mut rng,
-        );
+        let heavy =
+            SparseGradient::from_dense(&dense, crate::sparse::Sparsifier::TopK(128), &mut rng);
         let enc = BitmapEncoded::encode(&heavy);
         assert!(enc.wire_bytes() < heavy.encode().len());
     }
@@ -160,11 +153,8 @@ mod tests {
         let mut sum = 0.0f64;
         let n = 4000;
         for _ in 0..n {
-            let mut sg = SparseGradient {
-                dense_dim: 2,
-                indices: vec![0, 1],
-                values: vec![true_val, 1.0],
-            };
+            let mut sg =
+                SparseGradient { dense_dim: 2, indices: vec![0, 1], values: vec![true_val, 1.0] };
             quantize_stochastic(&mut sg, &mut rng);
             sum += sg.values[0] as f64;
         }

@@ -138,9 +138,8 @@ impl SparseGradient {
                 return None;
             }
             indices.push(i);
-            values.push(f32::from_bits(u32::from_le_bytes(
-                bytes[off + 4..off + 8].try_into().ok()?,
-            )));
+            values
+                .push(f32::from_bits(u32::from_le_bytes(bytes[off + 4..off + 8].try_into().ok()?)));
         }
         Some(SparseGradient { dense_dim: d, indices, values })
     }
@@ -201,7 +200,7 @@ mod tests {
     #[test]
     fn random_k_is_data_independent() {
         // Identical RNG streams → identical index sets for different data.
-        let a = SparseGradient::from_dense(&vec![1.0f32; 50], Sparsifier::RandomK(5), &mut rng());
+        let a = SparseGradient::from_dense(&[1.0f32; 50], Sparsifier::RandomK(5), &mut rng());
         let data_b: Vec<f32> = (0..50).map(|i| i as f32).collect();
         let b = SparseGradient::from_dense(&data_b, Sparsifier::RandomK(5), &mut rng());
         assert_eq!(a.indices, b.indices);
@@ -250,22 +249,14 @@ mod tests {
 
     #[test]
     fn clip_bounds_norm() {
-        let mut sg = SparseGradient {
-            dense_dim: 4,
-            indices: vec![0, 1],
-            values: vec![3.0, 4.0],
-        };
+        let mut sg = SparseGradient { dense_dim: 4, indices: vec![0, 1], values: vec![3.0, 4.0] };
         sg.clip_l2(1.0);
         assert!((sg.l2_norm() - 1.0).abs() < 1e-5);
     }
 
     #[test]
     fn cells_pack_unpack() {
-        let sg = SparseGradient {
-            dense_dim: 100,
-            indices: vec![7, 42],
-            values: vec![-0.25, 3.5],
-        };
+        let sg = SparseGradient { dense_dim: 100, indices: vec![7, 42], values: vec![-0.25, 3.5] };
         let cells = sg.to_cells();
         assert_eq!(cell_parts(cells[0]), (7, -0.25));
         assert_eq!(cell_parts(cells[1]), (42, 3.5));

@@ -34,7 +34,8 @@ where
     for (i, input) in inputs.iter().enumerate().skip(1) {
         let d = trace_of(granularity, |tr| run(input, tr));
         assert_eq!(
-            d, reference,
+            d,
+            reference,
             "access pattern for input #{i} diverges from input #0 \
              (lengths {} vs {}): algorithm is NOT oblivious at {granularity:?} granularity",
             d.len(),
@@ -52,10 +53,8 @@ where
 {
     assert!(inputs.len() >= 2, "need at least two inputs to compare");
     let reference = trace_of(granularity, |tr| run(&inputs[0], tr));
-    let any_diff = inputs
-        .iter()
-        .skip(1)
-        .any(|input| trace_of(granularity, |tr| run(input, tr)) != reference);
+    let any_diff =
+        inputs.iter().skip(1).any(|input| trace_of(granularity, |tr| run(input, tr)) != reference);
     assert!(
         any_diff,
         "all {} inputs produced identical traces; expected a data-dependent pattern",
@@ -70,8 +69,8 @@ mod tests {
     use crate::tracer::Tracer;
 
     /// Linear scan: touches every element in order — oblivious.
-    fn linear_scan(input: &Vec<u64>, tr: &mut RecordingTracer) {
-        let buf = TrackedBuf::new(1, input.clone());
+    fn linear_scan(input: &[u64], tr: &mut RecordingTracer) {
+        let buf = TrackedBuf::new(1, input.to_vec());
         let mut acc = 0u64;
         for i in 0..buf.len() {
             acc = acc.wrapping_add(buf.read(i, tr));
@@ -80,8 +79,8 @@ mod tests {
     }
 
     /// Data-dependent walk: reads the element *named by* each value — leaky.
-    fn pointer_chase(input: &Vec<u64>, tr: &mut RecordingTracer) {
-        let buf = TrackedBuf::new(1, input.clone());
+    fn pointer_chase(input: &[u64], tr: &mut RecordingTracer) {
+        let buf = TrackedBuf::new(1, input.to_vec());
         for i in 0..buf.len() {
             let v = buf.read(i, tr) as usize % buf.len();
             buf.read(v, tr);
@@ -91,28 +90,28 @@ mod tests {
     #[test]
     fn linear_scan_is_oblivious() {
         let inputs = vec![vec![1u64, 2, 3, 4], vec![9, 9, 9, 9], vec![4, 3, 2, 1]];
-        assert_oblivious(Granularity::Element, &inputs, linear_scan);
-        assert_oblivious(Granularity::Cacheline, &inputs, linear_scan);
+        assert_oblivious(Granularity::Element, &inputs, |v, tr| linear_scan(v, tr));
+        assert_oblivious(Granularity::Cacheline, &inputs, |v, tr| linear_scan(v, tr));
     }
 
     #[test]
     fn pointer_chase_leaks() {
         let inputs = vec![vec![0u64, 1, 2, 3], vec![3, 2, 1, 0]];
-        assert_not_oblivious(Granularity::Element, &inputs, pointer_chase);
+        assert_not_oblivious(Granularity::Element, &inputs, |v, tr| pointer_chase(v, tr));
     }
 
     #[test]
     #[should_panic(expected = "NOT oblivious")]
     fn assert_oblivious_catches_leaks() {
         let inputs = vec![vec![0u64, 1, 2, 3], vec![3, 2, 1, 0]];
-        assert_oblivious(Granularity::Element, &inputs, pointer_chase);
+        assert_oblivious(Granularity::Element, &inputs, |v, tr| pointer_chase(v, tr));
     }
 
     #[test]
     #[should_panic(expected = "identical traces")]
     fn assert_not_oblivious_catches_obliviousness() {
         let inputs = vec![vec![1u64, 2, 3, 4], vec![4, 3, 2, 1]];
-        assert_not_oblivious(Granularity::Element, &inputs, linear_scan);
+        assert_not_oblivious(Granularity::Element, &inputs, |v, tr| linear_scan(v, tr));
     }
 
     #[test]

@@ -99,10 +99,7 @@ impl Relu {
     }
 
     fn backward(&mut self, gout: &[f32], _n: usize) -> Vec<f32> {
-        gout.iter()
-            .zip(self.mask.iter())
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect()
+        gout.iter().zip(self.mask.iter()).map(|(&g, &m)| if m { g } else { 0.0 }).collect()
     }
 }
 
@@ -129,10 +126,8 @@ impl Dropout {
             return x.to_vec();
         }
         let scale = 1.0 / (1.0 - self.p);
-        self.mask = x
-            .iter()
-            .map(|_| if self.rng.gen::<f32>() < self.p { 0.0 } else { scale })
-            .collect();
+        self.mask =
+            x.iter().map(|_| if self.rng.gen::<f32>() < self.p { 0.0 } else { scale }).collect();
         x.iter().zip(self.mask.iter()).map(|(&v, &m)| v * m).collect()
     }
 
@@ -166,7 +161,14 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Creates a He-initialized convolution over `(in_ch, h, w)` inputs.
-    pub fn new<R: Rng>(in_ch: usize, out_ch: usize, k: usize, h: usize, w: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        h: usize,
+        w: usize,
+        rng: &mut R,
+    ) -> Self {
         assert!(k <= h && k <= w, "kernel larger than input");
         let fan_in = in_ch * k * k;
         Conv2d {
@@ -277,7 +279,10 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// Creates a 2×2/stride-2 pool for the given input shape.
     pub fn new(ch: usize, h: usize, w: usize) -> Self {
-        assert!(h % 2 == 0 && w % 2 == 0, "pool input must have even spatial dims");
+        assert!(
+            h.is_multiple_of(2) && w.is_multiple_of(2),
+            "pool input must have even spatial dims"
+        );
         MaxPool2d { ch, h, w, argmax: Vec::new() }
     }
 

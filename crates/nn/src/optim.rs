@@ -75,21 +75,11 @@ mod tests {
         let p0 = m.get_params();
         m.train_batch(&x, &y);
         opt.step(&mut m);
-        let step1: f32 = m
-            .get_params()
-            .iter()
-            .zip(p0.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let step1: f32 = m.get_params().iter().zip(p0.iter()).map(|(a, b)| (a - b).abs()).sum();
         let p1 = m.get_params();
         m.train_batch(&x, &y);
         opt.step(&mut m);
-        let step2: f32 = m
-            .get_params()
-            .iter()
-            .zip(p1.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let step2: f32 = m.get_params().iter().zip(p1.iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(step2 > step1, "velocity should build up: {step1} vs {step2}");
     }
 

@@ -104,11 +104,7 @@ impl<A: Oblivious, B: Oblivious> Oblivious for (A, B) {
 impl<A: Oblivious, B: Oblivious, C: Oblivious> Oblivious for (A, B, C) {
     #[inline(always)]
     fn o_select(flag: bool, x: Self, y: Self) -> Self {
-        (
-            A::o_select(flag, x.0, y.0),
-            B::o_select(flag, x.1, y.1),
-            C::o_select(flag, x.2, y.2),
-        )
+        (A::o_select(flag, x.0, y.0), B::o_select(flag, x.1, y.1), C::o_select(flag, x.2, y.2))
     }
 }
 
@@ -200,7 +196,9 @@ mod tests {
     fn eq_and_lt() {
         assert!(o_eq_u64(5, 5));
         assert!(!o_eq_u64(5, 6));
-        for (a, b) in [(0u64, 1u64), (1, 0), (5, 5), (u64::MAX, 0), (0, u64::MAX), (u64::MAX, u64::MAX)] {
+        for (a, b) in
+            [(0u64, 1u64), (1, 0), (5, 5), (u64::MAX, 0), (0, u64::MAX), (u64::MAX, u64::MAX)]
+        {
             assert_eq!(o_lt_u64(a, b), a < b, "a={a} b={b}");
         }
     }

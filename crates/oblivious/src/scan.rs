@@ -7,7 +7,7 @@
 //! `o_select`. Cost is Θ(n) per access; this is what makes general-purpose
 //! ORAM expensive and motivates the paper's task-specific Algorithm 4.
 
-use olive_memsim::{TrackedBuf, Tracer};
+use olive_memsim::{Tracer, TrackedBuf};
 
 use crate::primitives::Oblivious;
 

@@ -6,7 +6,7 @@
 //! differentially-oblivious aggregation ablation (Section 5.4), which
 //! pads with dummies and then obliviously shuffles before linear access.
 
-use olive_memsim::{TrackedBuf, Tracer};
+use olive_memsim::{Tracer, TrackedBuf};
 use rand::Rng;
 
 use crate::primitives::Oblivious;
@@ -67,11 +67,8 @@ mod tests {
     fn shuffle_trace_independent_of_data_and_randomness() {
         // Both the data values AND the sampled permutation must be invisible
         // in the trace; only the length may matter.
-        let inputs: Vec<(u64, Vec<u64>)> = vec![
-            (1, (0..60).collect()),
-            (2, (0..60).rev().collect()),
-            (3, vec![7; 60]),
-        ];
+        let inputs: Vec<(u64, Vec<u64>)> =
+            vec![(1, (0..60).collect()), (2, (0..60).rev().collect()), (3, vec![7; 60])];
         assert_oblivious(Granularity::Element, &inputs, |(seed, data), tr| {
             let mut rng = Rng::seed_from_u64(*seed);
             oblivious_shuffle(0, data.clone(), &mut rng, tr);

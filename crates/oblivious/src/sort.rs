@@ -8,7 +8,7 @@
 //!
 //! Complexity: O(n log² n) comparators, exactly as cited in Section 5.2.
 
-use olive_memsim::{TrackedBuf, Tracer};
+use olive_memsim::{Tracer, TrackedBuf};
 
 use crate::primitives::{o_swap, Oblivious};
 

@@ -1,6 +1,6 @@
 //! PathORAM with oblivious stash operations (ZeroTrace construction).
 
-use olive_memsim::{TrackedBuf, Tracer};
+use olive_memsim::{Tracer, TrackedBuf};
 use olive_oblivious::primitives::Oblivious;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -240,10 +240,7 @@ mod tests {
     use std::collections::HashMap;
 
     fn oram(capacity: usize, posmap: PosMapKind, seed: u64) -> PathOram<u64> {
-        PathOram::new(
-            PathOramConfig { capacity, stash_limit: 20, posmap, region_base: 10 },
-            seed,
-        )
+        PathOram::new(PathOramConfig { capacity, stash_limit: 20, posmap, region_base: 10 }, seed)
     }
 
     #[test]
@@ -336,7 +333,7 @@ mod tests {
         // The remapped leaf after each access is uniform — bucket the
         // accessed paths of a fixed key and check rough uniformity.
         let mut o = oram(64, PosMapKind::Trusted, 13);
-        let mut hist = vec![0u32; 4];
+        let mut hist = [0u32; 4];
         for _ in 0..400 {
             o.write(5, 1, &mut NullTracer);
             // Peek the posmap through a read of its trusted variant: the

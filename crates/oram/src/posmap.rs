@@ -1,6 +1,6 @@
 //! Position-map strategies for PathORAM under SGX.
 
-use olive_memsim::{TrackedBuf, Tracer};
+use olive_memsim::{Tracer, TrackedBuf};
 use olive_oblivious::primitives::Oblivious;
 use olive_oblivious::scan::o_scan_update;
 
@@ -22,8 +22,8 @@ impl Oblivious for PosBlock {
     #[inline(always)]
     fn o_select(flag: bool, x: Self, y: Self) -> Self {
         let mut out = [0u32; POS_BLOCK_FANOUT];
-        for i in 0..POS_BLOCK_FANOUT {
-            out[i] = u32::o_select(flag, x.0[i], y.0[i]);
+        for (o, (&xi, &yi)) in out.iter_mut().zip(x.0.iter().zip(y.0.iter())) {
+            *o = u32::o_select(flag, xi, yi);
         }
         PosBlock(out)
     }
@@ -81,7 +81,11 @@ impl PosMap {
                 let cfg = crate::path_oram::PathOramConfig {
                     capacity: blocks,
                     stash_limit: 40,
-                    posmap: if blocks <= 256 { PosMapKind::LinearScan } else { PosMapKind::Recursive },
+                    posmap: if blocks <= 256 {
+                        PosMapKind::LinearScan
+                    } else {
+                        PosMapKind::Recursive
+                    },
                     region_base: region,
                 };
                 let mut oram = crate::path_oram::PathOram::<PosBlock>::new(cfg, seed ^ 0x9060_3AD0);

@@ -72,14 +72,10 @@ impl ClientSession {
         dh_seed[29] ^= (user >> 8) as u8;
         let dh = DhKeyPair::from_seed(&dh_seed);
         let shared = dh.shared_secret(quote.report.enclave_dh_public);
-        let key: [u8; 32] = Hkdf::derive(
-            &quote.report.transcript_hash(),
-            &shared,
-            &session_info(user),
-            32,
-        )
-        .try_into()
-        .expect("hkdf returns requested length");
+        let key: [u8; 32] =
+            Hkdf::derive(&quote.report.transcript_hash(), &shared, &session_info(user), 32)
+                .try_into()
+                .expect("hkdf returns requested length");
         Ok(ClientSession { user, key, dh, nonce_counter: 0 })
     }
 
@@ -206,13 +202,16 @@ mod tests {
         let (service, mut enclave, _quote) = setup();
         // A different (e.g. malicious) enclave attests successfully but has
         // the wrong measurement.
-        let mut evil_cfg = EnclaveConfig::default();
-        evil_cfg.code_identity = "olive-aggregator-with-backdoor".into();
+        let evil_cfg = EnclaveConfig {
+            code_identity: "olive-aggregator-with-backdoor".into(),
+            ..Default::default()
+        };
         let mut evil = Enclave::launch(&evil_cfg, [8u8; 32]);
         let evil_quote = evil.attest(&service, b"test");
         let expected = enclave.measurement();
-        let err = ClientSession::establish(1, service.public_key(), &expected, &evil_quote, [5; 32])
-            .unwrap_err();
+        let err =
+            ClientSession::establish(1, service.public_key(), &expected, &evil_quote, [5; 32])
+                .unwrap_err();
         assert_eq!(err, AttestationError::WrongMeasurement);
         let _ = &mut enclave;
     }

@@ -52,7 +52,10 @@ pub struct EnclaveConfig {
 
 impl Default for EnclaveConfig {
     fn default() -> Self {
-        EnclaveConfig { code_identity: "olive-oblivious-aggregator-v1".to_string(), epc_bytes: 96 << 20 }
+        EnclaveConfig {
+            code_identity: "olive-oblivious-aggregator-v1".to_string(),
+            epc_bytes: 96 << 20,
+        }
     }
 }
 
@@ -156,14 +159,9 @@ impl Enclave {
     /// Algorithm 1 line 1).
     pub fn register_client(&mut self, user: UserId, client_dh_public: u64) {
         let shared = self.dh.shared_secret(client_dh_public);
-        let key: [u8; 32] = Hkdf::derive(
-            &self.transcript_salt,
-            &shared,
-            &session_info(user),
-            32,
-        )
-        .try_into()
-        .expect("hkdf returns requested length");
+        let key: [u8; 32] = Hkdf::derive(&self.transcript_salt, &shared, &session_info(user), 32)
+            .try_into()
+            .expect("hkdf returns requested length");
         self.keystore.insert(user, key);
     }
 
@@ -197,9 +195,8 @@ impl Enclave {
         }
         let gcm = AesGcm::new(key).expect("32-byte key");
         let nonce = nonce_bytes(msg.nonce_counter);
-        let plain = gcm
-            .open(&nonce, &msg.ciphertext, &msg.aad())
-            .map_err(|_| TeeError::AuthFailure)?;
+        let plain =
+            gcm.open(&nonce, &msg.ciphertext, &msg.aad()).map_err(|_| TeeError::AuthFailure)?;
         self.last_nonce.insert(msg.user, msg.nonce_counter);
         Ok(plain)
     }
@@ -276,8 +273,7 @@ mod tests {
         let a = Enclave::launch(&cfg, [1; 32]);
         let b = Enclave::launch(&cfg, [2; 32]);
         assert_eq!(a.measurement(), b.measurement(), "measurement is code identity only");
-        let mut cfg2 = EnclaveConfig::default();
-        cfg2.code_identity = "different".into();
+        let cfg2 = EnclaveConfig { code_identity: "different".into(), ..Default::default() };
         let c = Enclave::launch(&cfg2, [1; 32]);
         assert_ne!(a.measurement(), c.measurement());
     }

@@ -23,12 +23,16 @@ fn main() {
 
     // The enclave requests a quote binding its DH share.
     let quote = enclave.attest(&service, b"olive-fl-v1 rounds<=100");
-    println!("quote obtained; report user_data = {:?}", String::from_utf8_lossy(&quote.report.user_data));
+    println!(
+        "quote obtained; report user_data = {:?}",
+        String::from_utf8_lossy(&quote.report.user_data)
+    );
 
     // A client verifies and joins.
     let expected = enclave.measurement();
-    let mut client = ClientSession::establish(42, service.public_key(), &expected, &quote, [3u8; 32])
-        .expect("genuine enclave must verify");
+    let mut client =
+        ClientSession::establish(42, service.public_key(), &expected, &quote, [3u8; 32])
+            .expect("genuine enclave must verify");
     enclave.register_client(42, client.dh_public());
     println!("client 42: attestation OK, session key established");
 
@@ -45,8 +49,10 @@ fn main() {
     println!("forged quote rejected: {err}");
 
     // Failure case 2: a genuine quote for a backdoored enclave binary.
-    let mut evil_cfg = EnclaveConfig::default();
-    evil_cfg.code_identity = "olive-aggregator-with-exfiltration".into();
+    let evil_cfg = EnclaveConfig {
+        code_identity: "olive-aggregator-with-exfiltration".into(),
+        ..Default::default()
+    };
     let mut evil = Enclave::launch(&evil_cfg, [4u8; 32]);
     let evil_quote = evil.attest(&service, b"olive-fl-v1 rounds<=100");
     let err = ClientSession::establish(43, service.public_key(), &expected, &evil_quote, [5u8; 32])

@@ -17,11 +17,7 @@ fn updates() -> Vec<SparseGradient> {
             indices: vec![2, 17, 40, 63],
             values: vec![0.5, -1.5, 2.5, 0.25],
         },
-        SparseGradient {
-            dense_dim: 64,
-            indices: vec![2, 9, 33],
-            values: vec![1.0, 1.0, 1.0],
-        },
+        SparseGradient { dense_dim: 64, indices: vec![2, 9, 33], values: vec![1.0, 1.0, 1.0] },
     ]
 }
 
@@ -67,10 +63,8 @@ fn quantization_does_not_change_the_leak() {
 fn defense_covers_alternative_encodings_too() {
     // Obliviousness is a property of the aggregation algorithm, so it
     // holds for bitmap-decoded updates exactly as for pair-decoded ones.
-    let a: Vec<SparseGradient> = updates()
-        .iter()
-        .map(|sg| BitmapEncoded::encode(sg).decode().unwrap())
-        .collect();
+    let a: Vec<SparseGradient> =
+        updates().iter().map(|sg| BitmapEncoded::encode(sg).decode().unwrap()).collect();
     let b = vec![
         SparseGradient { dense_dim: 64, indices: vec![0, 1, 2, 3], values: vec![9.0; 4] },
         SparseGradient { dense_dim: 64, indices: vec![60, 61, 62], values: vec![-9.0; 3] },

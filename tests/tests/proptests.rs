@@ -15,10 +15,8 @@ fn updates_strategy(max_n: usize, d: usize) -> impl Strategy<Value = Vec<SparseG
             let mut idxs: Vec<u32> = cells.iter().map(|(i, _)| *i).collect();
             idxs.sort_unstable();
             idxs.dedup();
-            let values = idxs
-                .iter()
-                .map(|i| cells.iter().find(|(j, _)| j == i).unwrap().1)
-                .collect();
+            let values =
+                idxs.iter().map(|i| cells.iter().find(|(j, _)| j == i).unwrap().1).collect();
             SparseGradient { dense_dim: d, indices: idxs, values }
         }),
         1..=max_n,

@@ -1,0 +1,305 @@
+//! Offline, API-compatible subset of the Criterion benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of Criterion's API that the
+//! `olive-bench` suite uses: `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model (deliberately simple, but real): each benchmark is
+//! warmed up, then timed over enough iterations to fill a target
+//! measurement window (default 300 ms, configurable via `sample_size`
+//! scaling and the `OLIVE_BENCH_MS` environment variable). The harness
+//! reports mean wall-clock time per iteration and, when a throughput is
+//! declared, bytes/s. Results print to stdout in a stable
+//! `bench: <group>/<id> ... <mean> <unit>/iter` format that the
+//! baseline-recording scripts parse. There is no statistical machinery
+//! (no outlier rejection, no HTML reports) — trend tracking lives in
+//! `CHANGES.md` baselines instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function, mirroring
+/// `criterion::black_box`. Uses a volatile read via `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter, shown as
+    /// `name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Anything acceptable as a benchmark name: `&str` or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Render to the display name used in reports.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    window: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing the whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: time single iterations until we can
+        // estimate how many fit in the measurement window.
+        let mut one = Duration::ZERO;
+        let mut warm = 0u64;
+        let warm_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            one += t0.elapsed();
+            warm += 1;
+            if warm >= 3 && warm_start.elapsed() >= self.window / 10 {
+                break;
+            }
+            if warm >= 50 {
+                break;
+            }
+        }
+        let per_iter = one / warm as u32;
+        let target = if per_iter.is_zero() {
+            1000
+        } else {
+            (self.window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let t0 = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.total = t0.elapsed();
+        self.iters_done = target;
+    }
+}
+
+/// Accumulated settings for a group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    window: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's sample-size knob. This harness uses it to scale the
+    /// measurement window down for expensive benchmarks (Criterion's
+    /// default sample size is 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let base = self.criterion.window;
+        self.window = base.mul_f64((n.max(10) as f64 / 100.0).min(1.0));
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Register and run a benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_name());
+        run_one(&name, self.window, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Register and run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_name());
+        run_one(&name, self.window, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (reporting already happened per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, window: Duration, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { iters_done: 0, total: Duration::ZERO, window };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("bench: {name} ... no iterations recorded");
+        return;
+    }
+    let per_iter_ns = b.total.as_nanos() as f64 / b.iters_done as f64;
+    let human = human_time(per_iter_ns);
+    match tp {
+        Some(Throughput::Bytes(n)) => {
+            let gbps = n as f64 / per_iter_ns; // bytes/ns == GB/s
+            println!(
+                "bench: {name} ... {human}/iter ({:.3} GiB/s, {} iters)",
+                gbps * 1e9 / (1u64 << 30) as f64,
+                b.iters_done
+            );
+        }
+        Some(Throughput::Elements(n)) => {
+            println!(
+                "bench: {name} ... {human}/iter ({:.3} Melem/s, {} iters)",
+                n as f64 / per_iter_ns * 1e3,
+                b.iters_done
+            );
+        }
+        None => println!("bench: {name} ... {human}/iter ({} iters)", b.iters_done),
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Top-level benchmark harness state.
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms =
+            std::env::var("OLIVE_BENCH_MS").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(300);
+        Criterion { window: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let window = self.window;
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None, window }
+    }
+
+    /// Register and run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let window = self.window;
+        run_one(name, window, None, |b| f(b));
+        self
+    }
+}
+
+/// Collect benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` for a benchmark binary, mirroring
+/// `criterion::criterion_main!`. Benchmark targets using this must set
+/// `harness = false` in `Cargo.toml`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; a bench
+            // pass should be a no-op there, matching Criterion.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b =
+            Bencher { iters_done: 0, total: Duration::ZERO, window: Duration::from_millis(5) };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(b.iters_done > 0);
+        assert!(count >= b.iters_done);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("sort", 128).to_string(), "sort/128");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}
