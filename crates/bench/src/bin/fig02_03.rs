@@ -4,7 +4,10 @@
 //! Prints the first accesses of the linear algorithm on dense vs sparse
 //! inputs, and verifies Definition 2.1 digests: identical across dense
 //! inputs, divergent across sparse inputs.
+//!
+//! Already seconds-scale; `--quick` trims the printed access prefix.
 
+use olive_bench::perf::PerfMode;
 use olive_core::aggregation::linear::{aggregate_dense_linear, aggregate_sparse_linear};
 use olive_core::cell::make_cell;
 use olive_core::regions::{REGION_G, REGION_G_STAR};
@@ -22,11 +25,13 @@ fn show(events: &[olive_memsim::Access], limit: usize) {
 }
 
 fn main() {
+    let mode = PerfMode::from_flags();
+    let shown = mode.pick(6, 12, 12);
     println!("=== Figure 2: dense gradients → uniform access pattern ===");
     let dense = vec![0.5f32; 2 * 4]; // 2 users, d = 4
     let mut tr = RecordingTracer::with_events(Granularity::Element);
     aggregate_dense_linear(&dense, 4, 2, &mut tr);
-    show(tr.events().unwrap(), 12);
+    show(tr.events().unwrap(), shown);
     let d1 = tr.digest();
     let mut tr2 = RecordingTracer::with_events(Granularity::Element);
     aggregate_dense_linear(&[-9.0f32; 8], 4, 2, &mut tr2);
@@ -39,7 +44,7 @@ fn main() {
     let sparse_a = [make_cell(0, 0.5), make_cell(3, 0.5), make_cell(3, 0.5), make_cell(1, 0.5)];
     let mut tr = RecordingTracer::with_events(Granularity::Element);
     aggregate_sparse_linear(&sparse_a, 4, 2, &mut tr);
-    show(tr.events().unwrap(), 12);
+    show(tr.events().unwrap(), shown);
     let da = tr.digest();
     let sparse_b = [make_cell(2, 0.5), make_cell(1, 0.5), make_cell(0, 0.5), make_cell(2, 0.5)];
     let mut tr = RecordingTracer::with_events(Granularity::Element);

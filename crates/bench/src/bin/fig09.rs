@@ -11,28 +11,24 @@
 //! Flags: `--quick` caps d at 10⁵; `--full` runs the slow methods at every
 //! size (hours); default caps Baseline at 3·10⁵ and PathORAM at 3·10⁴.
 
-use olive_bench::perf::time_aggregation_prebuilt;
+use olive_bench::perf::{time_aggregation_prebuilt, PerfMode};
+use olive_bench::synthetic_updates;
 use olive_bench::table::{print_table, secs};
-use olive_bench::{has_flag, synthetic_updates};
 use olive_core::aggregation::AggregatorKind;
 use olive_oram::PosMapKind;
 
 fn main() {
-    let quick = has_flag("--quick");
-    let full = has_flag("--full");
+    let mode = PerfMode::from_flags();
     let alpha = 0.01;
     let n = 100;
-    let sizes: &[usize] = if quick {
-        &[10_000, 30_000, 100_000]
-    } else {
-        &[10_000, 30_000, 100_000, 300_000, 1_000_000]
-    };
+    let all = &[10_000, 30_000, 100_000, 300_000, 1_000_000];
+    let sizes = mode.table(&[10_000, 30_000, 100_000], all, all);
     let mut rows = Vec::new();
     for &d in sizes {
         let k = ((d as f64) * alpha) as usize;
         let updates = synthetic_updates(n, k, d, 42);
         let (t_lin, _) = time_aggregation_prebuilt(AggregatorKind::NonOblivious, &updates, d);
-        let t_base = if full || d <= 300_000 {
+        let t_base = if mode.full || d <= 300_000 {
             Some(
                 time_aggregation_prebuilt(
                     AggregatorKind::Baseline { cacheline_weights: 16 },
@@ -45,7 +41,7 @@ fn main() {
             None
         };
         let (t_adv, _) = time_aggregation_prebuilt(AggregatorKind::Advanced, &updates, d);
-        let t_oram = if full || d <= 30_000 {
+        let t_oram = if mode.full || d <= 30_000 {
             Some(
                 time_aggregation_prebuilt(
                     AggregatorKind::PathOram { posmap: PosMapKind::Recursive },

@@ -6,25 +6,27 @@
 //! 5089·8·3000 + 50890·8 ≈ 122 MB > 96 MB), to the point where Baseline
 //! competes; the Figure 11 grouping fixes it.
 //!
-//! Default n ∈ {10, 100, 1000} (+3000 with `--full`, matching the paper's
-//! N = 10⁴ round); Baseline is capped at n ≤ 100 by default (O(nkd)).
+//! Scales: `--quick` n ∈ {10, 100} with Baseline only at n = 10; default
+//! n ∈ {10, 100, 1000} with Baseline capped at n ≤ 100 (O(nkd)); `--full`
+//! adds n = 3000, matching the paper's N = 10⁴ round, and uncaps Baseline.
 
-use olive_bench::perf::time_aggregation_prebuilt;
+use olive_bench::perf::{time_aggregation_prebuilt, PerfMode};
+use olive_bench::synthetic_updates;
 use olive_bench::table::{print_table, secs};
-use olive_bench::{has_flag, synthetic_updates};
 use olive_core::aggregation::AggregatorKind;
 use olive_core::olive::working_set_bytes;
 
 fn main() {
-    let full = has_flag("--full");
+    let mode = PerfMode::from_flags();
     let d = 50_890;
     let k = 5_089; // α = 0.1
-    let ns: &[usize] = if full { &[10, 100, 1000, 3000] } else { &[10, 100, 1000] };
+    let ns = mode.table(&[10, 100], &[10, 100, 1000], &[10, 100, 1000, 3000]);
+    let baseline_cap = mode.pick(10, 100, usize::MAX);
     let mut rows = Vec::new();
     for &n in ns {
         let updates = synthetic_updates(n, k, d, 7);
         let (t_lin, _) = time_aggregation_prebuilt(AggregatorKind::NonOblivious, &updates, d);
-        let t_base = if full || n <= 100 {
+        let t_base = if n <= baseline_cap {
             Some(
                 time_aggregation_prebuilt(
                     AggregatorKind::Baseline { cacheline_weights: 16 },

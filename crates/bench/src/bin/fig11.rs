@@ -8,12 +8,13 @@
 //!
 //! Also replays a scaled-down trace through the cache/EPC cost simulator
 //! to show the same U-curve under the paper's hardware constants
-//! (`--no-sim` to skip).
+//! (`--no-sim` to skip). `--quick` shrinks n and the h grid to seconds
+//! scale; `--full` uses the paper's n = 3000.
 
-use olive_bench::perf::time_aggregation_prebuilt;
+use olive_bench::perf::{time_aggregation_prebuilt, PerfMode};
 use olive_bench::table::{print_table, secs};
 use olive_bench::{has_flag, synthetic_updates};
-use olive_core::aggregation::{aggregate, AggregatorKind};
+use olive_core::aggregation::{aggregate_with_threads, AggregatorKind};
 use olive_memsim::{CacheConfig, RecordingTracer, SgxCostEstimate};
 
 fn panel(name: &str, d: usize, k: usize, n: usize, hs: &[usize]) {
@@ -49,7 +50,6 @@ fn simulated_panel(d: usize, k: usize, n: usize, hs: &[usize]) {
     let updates = synthetic_updates(n, k, d, 13);
     let mut rows = Vec::new();
     for &h in hs {
-        let mut tr = RecordingTracer::new(olive_memsim::Granularity::Cacheline);
         // Record the trace, then replay it through the cost model.
         let mut est = SgxCostEstimate::new(
             CacheConfig { size_bytes: 128 << 10, ways: 16, line_bytes: 64 },
@@ -58,11 +58,12 @@ fn simulated_panel(d: usize, k: usize, n: usize, hs: &[usize]) {
         );
         let mut replay = RecordingTracer::with_events(olive_memsim::Granularity::Cacheline)
             .with_event_cap(200_000_000);
-        aggregate(AggregatorKind::Grouped { h }, &updates, d, &mut replay);
+        // Pin one worker so the recorded event order (hence the simulated
+        // cache/EPC numbers) stays machine-independent.
+        aggregate_with_threads(AggregatorKind::Grouped { h }, &updates, d, 1, &mut replay);
         for a in replay.events().unwrap() {
             est.access(a.region, a.offset * 64);
         }
-        let _ = &mut tr;
         rows.push(vec![
             format!("h={h}"),
             format!("{:.2} ms (simulated)", est.estimated_ns() / 1e6),
@@ -78,14 +79,25 @@ fn simulated_panel(d: usize, k: usize, n: usize, hs: &[usize]) {
 }
 
 fn main() {
-    let full = has_flag("--full");
-    let n = if full { 3000 } else { 1000 };
+    let mode = PerfMode::from_flags();
+    let n = mode.pick(128, 1000, 3000);
     // Left: MNIST MLP, α = 0.1.
-    panel("MNIST MLP", 50_890, 5_089, n, &[10, 25, 50, 100, 200, 500, 1000]);
+    let mnist_hs = mode.table(
+        &[16, 64, 128],
+        &[10, 25, 50, 100, 200, 500, 1000],
+        &[10, 25, 50, 100, 200, 500, 1000],
+    );
+    panel("MNIST MLP", 50_890, 5_089, n, mnist_hs);
     // Right: CIFAR100-scale MLP, α = 0.01.
-    panel("CIFAR100 MLP", 204_000, 2_040, n, &[25, 50, 100, 150, 300, 600]);
+    let cifar_hs =
+        mode.table(&[32, 128], &[25, 50, 100, 150, 300, 600], &[25, 50, 100, 150, 300, 600]);
+    panel("CIFAR100 MLP", 204_000, 2_040, n, cifar_hs);
     if !has_flag("--no-sim") {
-        simulated_panel(12_800, 128, 256, &[2, 8, 32, 128, 256]);
+        if mode.quick {
+            simulated_panel(3_200, 32, 64, &[2, 8, 32]);
+        } else {
+            simulated_panel(12_800, 128, 256, &[2, 8, 32, 128, 256]);
+        }
     }
     println!(
         "\nShape claim: time falls from tiny h, reaches a minimum near the h whose per-group\n\

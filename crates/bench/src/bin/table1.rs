@@ -3,12 +3,17 @@
 //! Prints the paper's Table 1 with this reproduction's actual parameter
 //! counts (synthetic dataset record counts are the paper's, since the
 //! generators are unbounded samplers).
+//!
+//! The table is static and already sub-second; `--quick` is accepted for
+//! CI-sweep uniformity and runs the identical table.
 
+use olive_bench::perf::PerfMode;
 use olive_bench::table::print_table;
 use olive_data::DatasetKind;
 use olive_nn::zoo::ModelSpec;
 
 fn main() {
+    let _mode = PerfMode::from_flags();
     let rows: Vec<Vec<String>> = ModelSpec::all()
         .iter()
         .map(|m| {

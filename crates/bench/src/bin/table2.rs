@@ -5,8 +5,11 @@
 //! inside the enclave) vs local noise (LDP: every client perturbs its own
 //! update), with the same per-mechanism σ. The LDP accuracy collapse is
 //! the utility gap Olive closes without trusting the server.
+//!
+//! Flags: `--quick` (fewer training rounds), `--paper-scale`.
 
 use olive_bench::attack_exp::{Scale, Workload};
+use olive_bench::perf::PerfMode;
 use olive_bench::table::{pct, print_table};
 use olive_core::aggregation::AggregatorKind;
 use olive_data::synthetic::Generator;
@@ -19,7 +22,7 @@ use rand::SeedableRng;
 
 /// Runs reduced-scale FL with either central (enclave) or local (client)
 /// Gaussian noise; returns final test accuracy.
-fn run_fl(central: bool, sigma: f64, scale: &Scale, seed: u64) -> f64 {
+fn run_fl(central: bool, sigma: f64, scale: &Scale, rounds: usize, seed: u64) -> f64 {
     let workload = Workload::MnistMlp;
     let gen = Generator::new(
         olive_data::synthetic::SyntheticConfig {
@@ -47,8 +50,7 @@ fn run_fl(central: bool, sigma: f64, scale: &Scale, seed: u64) -> f64 {
     let mut server = FedAvgServer::new(model, scale.server_lr);
     let mut scratch = server.model.clone();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x7AB2E);
-    let rounds = 12;
-    for round in 0..rounds {
+    for round in 0..rounds as u64 {
         let sampled = sample_clients(scale.n_clients, scale.sample_rate, &mut rng);
         let params = server.params();
         let mut updates: Vec<_> = sampled
@@ -91,13 +93,17 @@ fn run_fl(central: bool, sigma: f64, scale: &Scale, seed: u64) -> f64 {
 
 fn main() {
     let scale = Scale::from_flags();
+    let mode = PerfMode::from_flags();
+    // --quick keeps all three trust-model runs but trains fewer rounds
+    // (the CDP-vs-LDP gap is visible after a handful).
+    let rounds = mode.pick(4, 12, 12);
     let sigma = 1.12;
     eprintln!("running no-noise baseline…");
-    let acc_clean = run_fl(true, 0.0, &scale, 21);
+    let acc_clean = run_fl(true, 0.0, &scale, rounds, 21);
     eprintln!("running CDP/Olive…");
-    let acc_cdp = run_fl(true, sigma, &scale, 21);
+    let acc_cdp = run_fl(true, sigma, &scale, rounds, 21);
     eprintln!("running LDP…");
-    let acc_ldp = run_fl(false, sigma, &scale, 21);
+    let acc_ldp = run_fl(false, sigma, &scale, rounds, 21);
 
     let rows = vec![
         vec!["CDP-FL".into(), "Trusted server".into(), "Good".into(), pct(acc_cdp)],

@@ -1,4 +1,5 @@
-//! The grouped optimization of Advanced (Section 5.3).
+//! The grouped optimization of Advanced (Section 5.3), parallel across
+//! groups.
 //!
 //! Batcher-sorting the full `nk + d` vector has poor locality: beyond the
 //! L3 cache (8 MB) every long-stride exchange misses, and beyond the EPC
@@ -9,37 +10,116 @@
 //! unchanged — every step is oblivious and the group schedule is public.
 //! Complexity O((n/h)·(hk+d)·log²(hk+d)); the optimal `h` balances sort
 //! size against per-group overhead and is data-independent (Figure 11).
+//!
+//! # Parallelism
+//!
+//! Groups are independent until the carry, so the per-group sorts (the
+//! dominant cost) run on `threads` worker threads. Three invariants make
+//! this safe and reproducible:
+//!
+//! * **Obliviousness is preserved.** Work is split into waves of `threads`
+//!   groups by *position*, each worker traces into its own forked tracer,
+//!   and workers are joined in group order — all functions of the public
+//!   input shape, never of gradient content (`ParallelTracer`). With
+//!   `threads = 1` the historical serial path runs and the trace is
+//!   byte-identical to pre-parallel builds.
+//! * **Output is bitwise thread-count-invariant.** The carry is a *fixed
+//!   left fold* over group partials in group order — exactly the serial
+//!   float-addition order — never first-come accumulation, and not a
+//!   binary combine tree (f32 addition is non-associative, so a tree
+//!   would change low bits vs. serial). The fold is O(G·d) but is linear
+//!   work next to the O((hk+d)log²) sorts it sequences.
+//! * **The trace *multiset* is thread-count-invariant.** Parallel runs
+//!   reorder events across groups (sorts batch per wave, carries follow)
+//!   but add or drop none, so the combined adversary view touches exactly
+//!   the serial set of (region, offset, op) events.
+//!
+//! The default thread count comes from `OLIVE_THREADS` /
+//! `available_parallelism().min(8)` (see [`crate::parallel`]).
 
 use olive_fl::SparseGradient;
-use olive_memsim::{Tracer, TrackedBuf};
+use olive_memsim::{ParallelTracer, Tracer, TrackedBuf};
 
 use crate::cell::concat_cells;
+use crate::parallel::default_threads;
 use crate::regions::REGION_G_STAR;
 
 use super::advanced::sum_advanced;
 use super::linear::average_in_place;
 
-/// Grouped-Advanced aggregation with `h` clients per group.
-pub fn aggregate_grouped<TR: Tracer>(
+/// Oblivious carry: the fixed linear read-add-write sweep that folds one
+/// group's partial sums into the running total (Section 5.3 step 3).
+fn carry_into<TR: Tracer>(partial: &TrackedBuf<f32>, total: &mut TrackedBuf<f32>, tr: &mut TR) {
+    for j in 0..total.len() {
+        let p = partial.read(j, tr);
+        let t = total.read(j, tr);
+        total.write(j, t + p, tr);
+    }
+}
+
+/// Grouped-Advanced aggregation with `h` clients per group, using the
+/// process-default thread count ([`default_threads`]).
+pub fn aggregate_grouped<TR: ParallelTracer>(
     updates: &[SparseGradient],
     d: usize,
     h: usize,
     tr: &mut TR,
 ) -> Vec<f32> {
+    aggregate_grouped_with_threads(updates, d, h, default_threads(), tr)
+}
+
+/// Grouped-Advanced aggregation with an explicit worker-thread count.
+///
+/// `threads = 1` (or a single group) runs the serial path and reproduces
+/// the exact pre-parallel trace. Any `threads >= 2` runs groups on scoped
+/// worker threads; the output is bitwise identical to serial for every
+/// thread count, and the merged trace is deterministic for a fixed
+/// `(shape, threads)` pair.
+pub fn aggregate_grouped_with_threads<TR: ParallelTracer>(
+    updates: &[SparseGradient],
+    d: usize,
+    h: usize,
+    threads: usize,
+    tr: &mut TR,
+) -> Vec<f32> {
     assert!(h >= 1, "group size must be at least 1");
+    assert!(threads >= 1, "thread count must be at least 1");
     let n = updates.len();
     // The running total lives in the enclave across groups (Section 5.3
     // step 3: "record the aggregated value in the enclave, and carry over
     // the result to the next group").
     let mut total = TrackedBuf::<f32>::zeroed(REGION_G_STAR, d);
-    for group in updates.chunks(h) {
-        let cells = concat_cells(group);
-        let partial = sum_advanced(&cells, d, tr);
-        // Oblivious carry: fixed linear read-add-write sweep.
-        for j in 0..d {
-            let p = partial.read(j, tr);
-            let t = total.read(j, tr);
-            total.write(j, t + p, tr);
+    if threads == 1 || n <= h {
+        for group in updates.chunks(h) {
+            let cells = concat_cells(group);
+            let partial = sum_advanced(&cells, d, tr);
+            carry_into(&partial, &mut total, tr);
+        }
+    } else {
+        // Waves of `threads` consecutive groups: bounds partial-buffer
+        // memory at O(threads·d) and keeps the carry order serial.
+        for wave in updates.chunks(h * threads) {
+            let groups: Vec<&[SparseGradient]> = wave.chunks(h).collect();
+            let mut slots: Vec<Option<(TrackedBuf<f32>, TR::Worker)>> =
+                (0..groups.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (slot, group) in slots.iter_mut().zip(groups) {
+                    let mut wtr = tr.fork_worker();
+                    scope.spawn(move || {
+                        let cells = concat_cells(group);
+                        let partial = sum_advanced(&cells, d, &mut wtr);
+                        *slot = Some((partial, wtr));
+                    });
+                }
+            });
+            // Join worker traces and fold partials strictly in group
+            // order, regardless of which thread finished first.
+            let (partials, workers): (Vec<_>, Vec<_>) =
+                slots.into_iter().map(|s| s.expect("every group slot filled")).unzip();
+            tr.join_workers(workers);
+            for partial in &partials {
+                carry_into(partial, &mut total, tr);
+            }
         }
     }
     // Step 4: average only once, after the last group.
@@ -73,15 +153,64 @@ mod tests {
     }
 
     #[test]
-    fn oblivious_for_fixed_shape() {
+    fn oblivious_for_fixed_shape_at_every_thread_count() {
         let inputs = vec![
             random_updates(6, 4, 32, 1),
             random_updates(6, 4, 32, 2),
             random_updates(6, 4, 32, 3),
         ];
-        assert_oblivious(Granularity::Element, &inputs, |updates, tr| {
-            aggregate_grouped(updates, 32, 2, tr);
-        });
+        for threads in [1usize, 2, 4] {
+            assert_oblivious(Granularity::Element, &inputs, |updates, tr| {
+                aggregate_grouped_with_threads(updates, 32, 2, threads, tr);
+            });
+        }
+    }
+
+    #[test]
+    fn output_bitwise_identical_across_thread_counts() {
+        // The fixed left-fold carry must make f32 rounding independent of
+        // the worker count — bit-exact, not approximately equal.
+        let updates = random_updates(11, 6, 64, 9);
+        let serial = aggregate_grouped_with_threads(&updates, 64, 3, 1, &mut NullTracer);
+        for threads in [2usize, 3, 8] {
+            let par = aggregate_grouped_with_threads(&updates, 64, 3, threads, &mut NullTracer);
+            let same = serial.iter().zip(par.iter()).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads} changed the f32 bits");
+        }
+    }
+
+    #[test]
+    fn parallel_trace_multiset_equals_serial() {
+        let updates = random_updates(9, 4, 40, 17);
+        let events = |threads: usize| {
+            let mut tr = RecordingTracer::with_events(Granularity::Element);
+            aggregate_grouped_with_threads(&updates, 40, 2, threads, &mut tr);
+            let mut ev: Vec<_> = tr
+                .events()
+                .unwrap()
+                .iter()
+                .map(|a| (a.region, a.offset, a.op == olive_memsim::Op::Write))
+                .collect();
+            ev.sort_unstable();
+            ev
+        };
+        let serial = events(1);
+        for threads in [2usize, 8] {
+            assert_eq!(events(threads), serial, "threads={threads} changed the event multiset");
+        }
+    }
+
+    #[test]
+    fn parallel_trace_deterministic_per_thread_count() {
+        // Scheduling noise (which worker finishes first) must not reach
+        // the merged trace: same shape + same threads → same digest.
+        let updates = random_updates(8, 4, 32, 23);
+        let digest = || {
+            let mut tr = RecordingTracer::new(Granularity::Element);
+            aggregate_grouped_with_threads(&updates, 32, 2, 4, &mut tr);
+            tr.digest()
+        };
+        assert_eq!(digest(), digest());
     }
 
     #[test]

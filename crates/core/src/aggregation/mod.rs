@@ -18,10 +18,11 @@ pub mod linear;
 pub mod oram;
 
 use olive_fl::SparseGradient;
-use olive_memsim::Tracer;
+use olive_memsim::ParallelTracer;
 use olive_oram::PosMapKind;
 
 use crate::cell::concat_cells;
+use crate::parallel::default_threads;
 
 /// Which aggregation algorithm the enclave runs (Section 5's lineup).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,11 +65,26 @@ pub enum AggregatorKind {
 
 /// Aggregates sparse client updates with the chosen algorithm, reporting
 /// every adversary-visible access to `tr`. Returns the averaged dense
-/// update of length `d`.
-pub fn aggregate<TR: Tracer>(
+/// update of length `d`. Parallel algorithms (currently
+/// [`AggregatorKind::Grouped`]) use the process-default thread count
+/// ([`default_threads`]).
+pub fn aggregate<TR: ParallelTracer>(
     kind: AggregatorKind,
     updates: &[SparseGradient],
     d: usize,
+    tr: &mut TR,
+) -> Vec<f32> {
+    aggregate_with_threads(kind, updates, d, default_threads(), tr)
+}
+
+/// [`aggregate`] with an explicit worker-thread count for the parallel
+/// algorithms; serial algorithms ignore `threads`. `threads = 1`
+/// reproduces the exact serial traces of pre-parallel builds.
+pub fn aggregate_with_threads<TR: ParallelTracer>(
+    kind: AggregatorKind,
+    updates: &[SparseGradient],
+    d: usize,
+    threads: usize,
     tr: &mut TR,
 ) -> Vec<f32> {
     assert!(!updates.is_empty(), "no updates to aggregate");
@@ -89,7 +105,9 @@ pub fn aggregate<TR: Tracer>(
             let cells = concat_cells(updates);
             advanced::aggregate_advanced(&cells, d, n, tr)
         }
-        AggregatorKind::Grouped { h } => grouped::aggregate_grouped(updates, d, h, tr),
+        AggregatorKind::Grouped { h } => {
+            grouped::aggregate_grouped_with_threads(updates, d, h, threads, tr)
+        }
         AggregatorKind::PathOram { posmap } => {
             let cells = concat_cells(updates);
             oram::aggregate_oram(&cells, d, n, posmap, tr)

@@ -18,6 +18,8 @@
 //!     (Proposition 5.2), O((nk+d)·log²(nk+d));
 //!   - [`aggregation::grouped`]: the Section 5.3 optimization — process
 //!     clients in groups of `h` so the sort working set fits cache/EPC;
+//!     groups run in parallel across threads ([`parallel`]) since the
+//!     group schedule is public;
 //!   - [`aggregation::oram`]: the PathORAM/ZeroTrace comparator;
 //!   - [`aggregation::dobliv`]: the Section 5.4 differentially-oblivious
 //!     relaxation (dummy padding + oblivious shuffle + linear pass);
@@ -32,8 +34,10 @@
 pub mod aggregation;
 pub mod cell;
 pub mod olive;
+pub mod parallel;
 pub mod regions;
 
-pub use aggregation::{aggregate, AggregatorKind};
+pub use aggregation::{aggregate, aggregate_with_threads, AggregatorKind};
 pub use cell::{cell_index, cell_value, make_cell, DUMMY_INDEX};
 pub use olive::{OliveConfig, OliveSystem, RoundReport};
+pub use parallel::default_threads;

@@ -20,13 +20,14 @@
 use olive_data::ClientData;
 use olive_dp::{GaussianMechanism, RdpAccountant};
 use olive_fl::{local_update, sample_clients, ClientConfig, FedAvgServer, SparseGradient};
-use olive_memsim::Tracer;
+use olive_memsim::ParallelTracer;
 use olive_nn::Model;
 use olive_tee::{AttestationService, ClientSession, Enclave, EnclaveConfig, SealedMessage, UserId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::aggregation::{aggregate, AggregatorKind};
+use crate::aggregation::{aggregate_with_threads, AggregatorKind};
+use crate::parallel::default_threads;
 
 /// Central-DP configuration (Algorithm 6).
 #[derive(Clone, Copy, Debug)]
@@ -90,6 +91,7 @@ pub struct OliveSystem {
     rng: SmallRng,
     round: u64,
     accountant: RdpAccountant,
+    threads: Option<usize>,
 }
 
 impl OliveSystem {
@@ -136,7 +138,23 @@ impl OliveSystem {
             rng,
             round: 0,
             accountant: RdpAccountant::new(),
+            threads: None,
         }
+    }
+
+    /// Pins the worker-thread count for parallel round work (client-side
+    /// training and the grouped aggregation). Unset, the process default
+    /// applies: `OLIVE_THREADS` or `available_parallelism().min(8)`;
+    /// `1` forces the exact serial code paths and traces.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "thread count must be at least 1");
+        self.threads = Some(threads);
+    }
+
+    /// The worker-thread count rounds will use ([`OliveSystem::set_threads`]
+    /// or the process default).
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(default_threads)
     }
 
     /// The current global parameters θ_t.
@@ -157,7 +175,7 @@ impl OliveSystem {
 
     /// Runs one full round (Algorithm 1 lines 4–14 / Algorithm 6),
     /// reporting the enclave's memory accesses during aggregation to `tr`.
-    pub fn run_round<TR: Tracer>(&mut self, tr: &mut TR) -> RoundReport {
+    pub fn run_round<TR: ParallelTracer>(&mut self, tr: &mut TR) -> RoundReport {
         let t = self.round;
         // Line 5: secure in-enclave sampling.
         let sampled = sample_clients(self.cfg.n_clients, self.cfg.sample_rate, &mut self.rng);
@@ -186,9 +204,10 @@ impl OliveSystem {
         let d = self.server.dim();
         let n = updates.len();
         let k = updates.first().map(|u| u.k()).unwrap_or(0);
-        let ws = working_set_bytes(self.cfg.aggregator, n, k, d);
+        let ws = working_set_bytes_threaded(self.cfg.aggregator, n, k, d, self.threads());
         self.enclave.epc.alloc(ws);
-        let mut delta = aggregate(self.cfg.aggregator, &updates, d, tr);
+        let mut delta =
+            aggregate_with_threads(self.cfg.aggregator, &updates, d, self.threads(), tr);
         self.enclave.epc.free(ws);
 
         // Algorithm 6 line 12: enclave-side Gaussian perturbation. The
@@ -239,7 +258,7 @@ impl OliveSystem {
         client_cfg: &ClientConfig,
         round: u64,
     ) -> Vec<SparseGradient> {
-        let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+        let n_threads = self.threads();
         if sampled.len() < 4 || n_threads == 1 {
             return sampled
                 .iter()
@@ -321,6 +340,34 @@ pub fn working_set_bytes(kind: AggregatorKind, n: usize, k: usize, d: usize) -> 
     }
 }
 
+/// [`working_set_bytes`] adjusted for parallel execution: the grouped
+/// algorithm keeps up to `threads` group sort vectors (plus their partial
+/// sums) in flight per wave, so its enclave footprint scales with the
+/// worker count. Serial algorithms are unaffected; `threads = 1` equals
+/// the serial estimate.
+pub fn working_set_bytes_threaded(
+    kind: AggregatorKind,
+    n: usize,
+    k: usize,
+    d: usize,
+    threads: usize,
+) -> u64 {
+    match kind {
+        AggregatorKind::Grouped { h } => {
+            let cell = 8u64;
+            let hk = h.max(1).min(n) * k;
+            let group_cells = (hk + d).next_power_of_two() as u64;
+            let groups = n.div_ceil(h.max(1)).max(1);
+            let in_flight = threads.clamp(1, groups) as u64;
+            // Per worker: one sort vector + one d-sized partial; shared:
+            // the running total (cf. the serial formula's 2·d term =
+            // one partial + the total).
+            in_flight * (group_cells * cell + d as u64 * 4) + d as u64 * 4
+        }
+        _ => working_set_bytes(kind, n, k, d),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +433,40 @@ mod tests {
             for (a, b) in reference.iter().zip(params.iter()) {
                 assert!((a - b).abs() < 1e-4, "{kind:?} diverged");
             }
+        }
+    }
+
+    #[test]
+    fn threaded_working_set_scales_with_workers() {
+        let kind = AggregatorKind::Grouped { h: 4 };
+        let serial = working_set_bytes(kind, 16, 8, 256);
+        assert_eq!(working_set_bytes_threaded(kind, 16, 8, 256, 1), serial);
+        let w2 = working_set_bytes_threaded(kind, 16, 8, 256, 2);
+        let w4 = working_set_bytes_threaded(kind, 16, 8, 256, 4);
+        assert!(serial < w2 && w2 < w4, "{serial} < {w2} < {w4}");
+        // Capped at the group count: 16 clients / h=4 → 4 groups.
+        assert_eq!(w4, working_set_bytes_threaded(kind, 16, 8, 256, 64));
+        // Serial algorithms are unaffected by the worker count.
+        assert_eq!(
+            working_set_bytes_threaded(AggregatorKind::Advanced, 16, 8, 256, 8),
+            working_set_bytes(AggregatorKind::Advanced, 16, 8, 256)
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_round() {
+        // One full round — parallel training + parallel grouped
+        // aggregation — must be bitwise reproducible at any thread count.
+        let run = |threads: usize| {
+            let mut sys = tiny_system(AggregatorKind::Grouped { h: 2 }, None);
+            sys.set_threads(threads);
+            assert_eq!(sys.threads(), threads);
+            sys.run_round(&mut NullTracer);
+            sys.global_params()
+        };
+        let serial = run(1);
+        for threads in [2usize, 4] {
+            assert_eq!(serial, run(threads), "threads={threads} changed the global model");
         }
     }
 

@@ -55,6 +55,25 @@ impl TraceDigest {
         self.count += 1;
     }
 
+    /// Folds a whole child digest into this one (deterministic merge for
+    /// parallel traces).
+    ///
+    /// A multi-threaded oblivious region records one trace per worker; the
+    /// combined adversary view is defined as the parent digest with every
+    /// worker digest absorbed **in a fixed, data-independent order** (the
+    /// group schedule). The merge mixes both lanes and the child's event
+    /// count, so it is order-sensitive across children and distinguishes a
+    /// child trace from any prefix of it — the same collision story as
+    /// [`TraceDigest::absorb`]. Note the result is a digest *of digests*:
+    /// it does not equal absorbing the child's events one by one.
+    pub fn absorb_child(&mut self, child: TraceDigest) {
+        self.lane0 = mix(self.lane0, child.lane0, MULT0);
+        self.lane0 = mix(self.lane0, child.count ^ SEED0, MULT0);
+        self.lane1 = mix(self.lane1, child.lane1 ^ SEED1, MULT1);
+        self.lane1 = mix(self.lane1, child.count, MULT1);
+        self.count += child.count;
+    }
+
     /// Number of events absorbed.
     pub fn len(&self) -> u64 {
         self.count
@@ -133,6 +152,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn child_merge_is_deterministic_and_order_sensitive() {
+        let child = |seed: u64| {
+            let mut d = TraceDigest::new();
+            d.absorb(1, seed, Op::Read);
+            d.absorb(1, seed + 1, Op::Write);
+            d
+        };
+        let merge = |order: [u64; 2]| {
+            let mut parent = TraceDigest::new();
+            parent.absorb_child(child(order[0]));
+            parent.absorb_child(child(order[1]));
+            parent
+        };
+        assert_eq!(merge([10, 20]), merge([10, 20]), "same children, same order");
+        assert_ne!(merge([10, 20]), merge([20, 10]), "join order must matter");
+        assert_eq!(merge([10, 20]).len(), 4, "counts accumulate");
+    }
+
+    #[test]
+    fn child_merge_differs_from_event_replay() {
+        // The merged value is a digest of digests, not a replay: combining
+        // one-event children is distinguishable from absorbing the same
+        // events directly.
+        let mut child = TraceDigest::new();
+        child.absorb(1, 7, Op::Read);
+        let mut merged = TraceDigest::new();
+        merged.absorb_child(child);
+        let mut replayed = TraceDigest::new();
+        replayed.absorb(1, 7, Op::Read);
+        assert_ne!(merged, replayed);
+        assert_eq!(merged.len(), replayed.len());
     }
 
     #[test]

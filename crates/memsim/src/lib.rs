@@ -10,7 +10,9 @@
 //!
 //! * [`Tracer`] — a zero-cost-when-disabled hook that algorithms call on
 //!   every load/store of adversary-visible memory. [`NullTracer`]
-//!   monomorphizes away; [`RecordingTracer`] records.
+//!   monomorphizes away; [`RecordingTracer`] records. [`ParallelTracer`]
+//!   extends both with fork/join so data-parallel oblivious regions can
+//!   record one trace per thread and merge them deterministically.
 //! * [`TrackedBuf`] — a buffer wrapper that guarantees every access is
 //!   reported to the tracer (used for the gradient buffers `G` and `G*`).
 //! * [`TraceDigest`] — a 128-bit streaming digest of a trace so that
@@ -38,7 +40,8 @@ pub use check::{assert_not_oblivious, assert_oblivious, trace_of};
 pub use digest::TraceDigest;
 pub use epc::{CostModel, EpcSim, EpcStats, SgxCostEstimate};
 pub use tracer::{
-    Access, Granularity, NullTracer, Op, RecordingTracer, RegionId, Tracer, TracerStats,
+    Access, Granularity, NullTracer, Op, ParallelTracer, RecordingTracer, RegionId, Tracer,
+    TracerStats,
 };
 
 /// Cacheline size assumed throughout the paper and this reproduction (bytes).

@@ -69,6 +69,36 @@ pub trait Tracer {
     }
 }
 
+/// A tracer that can observe a *parallel* oblivious region.
+///
+/// Data-parallel algorithms (the grouped aggregation of Section 5.3) hand
+/// each thread its own [`ParallelTracer::Worker`] so workers never contend
+/// on the parent, then merge every worker trace back **in a fixed,
+/// data-independent order** (the public group schedule). Because both the
+/// work split and the join order are functions of the input *shape* only,
+/// forking cannot introduce a data-dependent access pattern: the merged
+/// trace is deterministic for a given thread count, and
+/// [`crate::assert_oblivious`]-style digest comparison remains sound.
+///
+/// The parent's digest after a join is a digest *of* the worker digests
+/// (see [`TraceDigest::absorb_child`]) — still order-sensitive and
+/// collision-resistant, but not equal to a serial replay of the same
+/// events. Single-threaded runs should bypass fork/join entirely so that
+/// `threads = 1` reproduces the exact historical serial trace.
+pub trait ParallelTracer: Tracer {
+    /// The per-thread tracer handed to one worker.
+    type Worker: Tracer + Send;
+
+    /// Creates a fresh worker tracer inheriting this tracer's
+    /// configuration (granularity, event retention).
+    fn fork_worker(&self) -> Self::Worker;
+
+    /// Merges worker traces back into this tracer. The caller must supply
+    /// the workers in a public, data-independent order; the merge itself
+    /// is deterministic in that order.
+    fn join_workers(&mut self, workers: impl IntoIterator<Item = Self::Worker>);
+}
+
 /// A tracer that compiles to nothing: used on the benchmark hot path.
 #[derive(Default, Clone, Copy, Debug)]
 pub struct NullTracer;
@@ -76,6 +106,18 @@ pub struct NullTracer;
 impl Tracer for NullTracer {
     #[inline(always)]
     fn touch(&mut self, _region: RegionId, _byte_off: u64, _len: u32, _op: Op) {}
+}
+
+impl ParallelTracer for NullTracer {
+    type Worker = NullTracer;
+
+    #[inline(always)]
+    fn fork_worker(&self) -> NullTracer {
+        NullTracer
+    }
+
+    #[inline(always)]
+    fn join_workers(&mut self, _workers: impl IntoIterator<Item = NullTracer>) {}
 }
 
 /// Aggregate counters for a recorded trace.
@@ -210,6 +252,40 @@ impl Tracer for RecordingTracer {
     }
 }
 
+impl ParallelTracer for RecordingTracer {
+    type Worker = RecordingTracer;
+
+    fn fork_worker(&self) -> RecordingTracer {
+        let mut w = RecordingTracer::new(self.granularity);
+        if self.events.is_some() {
+            // Each worker inherits the parent's cap so a capped parent
+            // keeps parallel tracing memory bounded (≤ cap per live
+            // worker); join enforces the parent cap again on the merged
+            // list. Below the cap the retained events are the full
+            // multiset; once the cap binds, the retained prefix follows
+            // the parallel join order rather than the serial interleave
+            // (stats and digest stay exact either way, as for a serial
+            // capped tracer).
+            w.events = Some(Vec::new());
+            w.max_events = self.max_events;
+        }
+        w
+    }
+
+    fn join_workers(&mut self, workers: impl IntoIterator<Item = RecordingTracer>) {
+        for w in workers {
+            debug_assert_eq!(w.granularity, self.granularity, "worker granularity mismatch");
+            self.digest.absorb_child(w.digest);
+            self.stats.reads += w.stats.reads;
+            self.stats.writes += w.stats.writes;
+            if let (Some(ev), Some(wev)) = (&mut self.events, w.events) {
+                let room = self.max_events.saturating_sub(ev.len());
+                ev.extend(wev.into_iter().take(room));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +362,75 @@ mod tests {
         }
         t.touch(9, 100, 4, Op::Write); // other region ignored
         assert_eq!(t.touched_offsets(3), vec![0, 4, 12]);
+    }
+
+    #[test]
+    fn fork_join_accumulates_stats_and_events_in_order() {
+        let mut parent = RecordingTracer::with_events(Granularity::Element);
+        parent.touch(1, 0, 1, Op::Read);
+        let mut w0 = parent.fork_worker();
+        let mut w1 = parent.fork_worker();
+        w0.touch(2, 10, 1, Op::Write);
+        w1.touch(3, 20, 1, Op::Read);
+        parent.join_workers([w0, w1]);
+        assert_eq!(parent.stats(), TracerStats { reads: 2, writes: 1 });
+        assert_eq!(
+            parent.events().unwrap(),
+            &[
+                Access { region: 1, offset: 0, op: Op::Read },
+                Access { region: 2, offset: 10, op: Op::Write },
+                Access { region: 3, offset: 20, op: Op::Read },
+            ]
+        );
+    }
+
+    #[test]
+    fn join_digest_depends_on_worker_order_not_thread_timing() {
+        let run = |swap: bool| {
+            let mut parent = RecordingTracer::new(Granularity::Element);
+            let mut a = parent.fork_worker();
+            let mut b = parent.fork_worker();
+            a.touch(1, 1, 1, Op::Read);
+            b.touch(1, 2, 1, Op::Read);
+            if swap {
+                parent.join_workers([b, a]);
+            } else {
+                parent.join_workers([a, b]);
+            }
+            parent.digest()
+        };
+        assert_eq!(run(false), run(false), "deterministic for a fixed join order");
+        assert_ne!(run(false), run(true), "join order is part of the trace identity");
+    }
+
+    #[test]
+    fn digest_only_parent_forks_digest_only_workers() {
+        let parent = RecordingTracer::new(Granularity::Cacheline);
+        let w = parent.fork_worker();
+        assert_eq!(w.granularity(), Granularity::Cacheline);
+        assert!(w.events().is_none());
+    }
+
+    #[test]
+    fn join_respects_parent_event_cap() {
+        let mut parent = RecordingTracer::with_events(Granularity::Element).with_event_cap(2);
+        let mut w = parent.fork_worker();
+        for i in 0..5 {
+            w.touch(1, i, 1, Op::Read);
+        }
+        assert_eq!(w.events().unwrap().len(), 2, "workers inherit the cap (bounded memory)");
+        parent.join_workers([w]);
+        assert_eq!(parent.events().unwrap().len(), 2);
+        assert_eq!(parent.stats().reads, 5, "stats keep running past the cap");
+    }
+
+    #[test]
+    fn null_tracer_fork_join_is_free() {
+        let mut t = NullTracer;
+        let mut w = t.fork_worker();
+        w.touch(0, 0, 1, Op::Read);
+        t.join_workers([w]);
+        assert!(!t.is_recording());
     }
 
     #[test]

@@ -1,42 +1,99 @@
 //! Shared helpers for the cross-crate integration tests.
+//!
+//! All three behavioural suites (`end_to_end`, `attack_defense`,
+//! `encoding_leak`) draw on **one canonical small deployment**, generated
+//! once per test binary and cloned per test. Dataset synthesis, label
+//! partitioning, model init and the attacker pool are fixture-seeded and
+//! paid once; only the protocol seed (sampling order, training batches,
+//! DP noise) varies per test. This keeps the suites fast as scenario
+//! coverage grows and makes regressions comparable across suites — every
+//! test sees literally the same federation.
+
+use std::sync::OnceLock;
 
 use olive_core::aggregation::AggregatorKind;
 use olive_core::olive::{DpConfig, OliveConfig, OliveSystem};
 use olive_data::synthetic::{Dataset, Generator, SyntheticConfig};
-use olive_data::{partition, LabelAssignment};
-use olive_fl::{ClientConfig, Sparsifier};
+use olive_data::{partition, ClientData, LabelAssignment};
+use olive_fl::{local_update, ClientConfig, SparseGradient, Sparsifier};
 use olive_nn::zoo::mlp;
+use olive_nn::Model;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// Canonical small deployment used across the integration tests:
-/// 16 clients, 5 classes, 1 label each, an MLP with ~1k parameters.
+/// Seed of the canonical deployment's *data* (clients, model init, pool).
+/// Per-test seeds only steer the protocol on top of this fixed world.
+const FIXTURE_SEED: u64 = 7;
+
+/// The canonical small deployment: 16 clients, 5 classes, 1 label each,
+/// an MLP with ~1k parameters, and a balanced attacker/test pool.
+struct CanonicalFixture {
+    clients: Vec<ClientData>,
+    model: Model,
+    pool: Dataset,
+}
+
+fn fixture() -> &'static CanonicalFixture {
+    static FIXTURE: OnceLock<CanonicalFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let generator = Generator::new(SyntheticConfig::tiny(32, 5), FIXTURE_SEED);
+        let clients = partition(&generator, 16, LabelAssignment::Fixed(1), 20, FIXTURE_SEED);
+        let model = mlp(32, 12, 5, 0.0, FIXTURE_SEED);
+        let mut rng = SmallRng::seed_from_u64(FIXTURE_SEED ^ 1);
+        let pool = generator.sample_balanced(25, &mut rng);
+        CanonicalFixture { clients, model, pool }
+    })
+}
+
+fn client_config(d: usize) -> ClientConfig {
+    ClientConfig {
+        epochs: 2,
+        batch_size: 10,
+        lr: 0.25,
+        sparsifier: Sparsifier::TopK(d / 16),
+        clip: None,
+    }
+}
+
+/// A system over the canonical deployment. `seed` steers only the
+/// protocol randomness (participant sampling, batch order, DP noise) —
+/// the federation itself is the shared fixture.
 pub fn small_system(
     aggregator: AggregatorKind,
     dp: Option<DpConfig>,
     seed: u64,
 ) -> (OliveSystem, Dataset) {
-    let generator = Generator::new(SyntheticConfig::tiny(32, 5), seed);
-    let clients = partition(&generator, 16, LabelAssignment::Fixed(1), 20, seed);
-    let model = mlp(32, 12, 5, 0.0, seed);
-    let d = model.param_count();
+    let fx = fixture();
+    let d = fx.model.param_count();
     let cfg = OliveConfig {
-        n_clients: 16,
+        n_clients: fx.clients.len(),
         sample_rate: 0.6,
-        client: ClientConfig {
-            epochs: 2,
-            batch_size: 10,
-            lr: 0.25,
-            sparsifier: Sparsifier::TopK(d / 16),
-            clip: None,
-        },
+        client: client_config(d),
         aggregator,
         server_lr: 0.8,
         dp,
         seed,
     };
-    let system = OliveSystem::new(model, clients, cfg);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 1);
-    let pool = generator.sample_balanced(25, &mut rng);
-    (system, pool)
+    let system = OliveSystem::new(fx.model.clone(), fx.clients.clone(), cfg);
+    (system, fx.pool.clone())
+}
+
+/// Sparse top-k updates a handful of canonical clients would upload in
+/// round 0 — real trained gradients for encoding/trace tests, computed
+/// once per test binary.
+pub fn canonical_updates() -> &'static [SparseGradient] {
+    static UPDATES: OnceLock<Vec<SparseGradient>> = OnceLock::new();
+    UPDATES.get_or_init(|| {
+        let fx = fixture();
+        let global: Vec<f32> = fx.model.get_params();
+        let cfg = client_config(global.len());
+        let mut scratch = fx.model.clone();
+        fx.clients
+            .iter()
+            .take(4)
+            .map(|c| {
+                local_update(&mut scratch, &global, &c.dataset, &cfg, FIXTURE_SEED ^ c.user as u64)
+            })
+            .collect()
+    })
 }

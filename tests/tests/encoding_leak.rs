@@ -1,24 +1,23 @@
 //! Section 3.3's generality claim, cross-crate: the index leak is
 //! independent of the wire encoding and of quantization. Whatever format
 //! the client transmits, the server decodes to positions before the
-//! dense update — and the access pattern is identical.
+//! dense update — and the access pattern is identical. Runs over real
+//! trained top-k updates from the shared canonical deployment.
 
 use olive_core::aggregation::{aggregate, AggregatorKind};
 use olive_fl::encoding::{quantize_stochastic, BitmapEncoded};
 use olive_fl::SparseGradient;
+use olive_integration_tests::canonical_updates;
 use olive_memsim::{trace_of, Granularity};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn updates() -> Vec<SparseGradient> {
-    vec![
-        SparseGradient {
-            dense_dim: 64,
-            indices: vec![2, 17, 40, 63],
-            values: vec![0.5, -1.5, 2.5, 0.25],
-        },
-        SparseGradient { dense_dim: 64, indices: vec![2, 9, 33], values: vec![1.0, 1.0, 1.0] },
-    ]
+    canonical_updates().to_vec()
+}
+
+fn dim() -> usize {
+    canonical_updates()[0].dense_dim
 }
 
 #[test]
@@ -30,7 +29,7 @@ fn bitmap_encoding_produces_identical_leak() {
         .collect();
     let trace = |ups: &[SparseGradient]| {
         trace_of(Granularity::Element, |tr| {
-            aggregate(AggregatorKind::NonOblivious, ups, 64, tr);
+            aggregate(AggregatorKind::NonOblivious, ups, dim(), tr);
         })
     };
     assert_eq!(
@@ -53,7 +52,7 @@ fn quantization_does_not_change_the_leak() {
     // …but the trace (hence the leaked index sets) is identical.
     let trace = |ups: &[SparseGradient]| {
         trace_of(Granularity::Element, |tr| {
-            aggregate(AggregatorKind::NonOblivious, ups, 64, tr);
+            aggregate(AggregatorKind::NonOblivious, ups, dim(), tr);
         })
     };
     assert_eq!(trace(&original), trace(&quantized));
@@ -62,16 +61,26 @@ fn quantization_does_not_change_the_leak() {
 #[test]
 fn defense_covers_alternative_encodings_too() {
     // Obliviousness is a property of the aggregation algorithm, so it
-    // holds for bitmap-decoded updates exactly as for pair-decoded ones.
+    // holds for bitmap-decoded updates exactly as for pair-decoded ones:
+    // compare against a same-shape input with every index rotated.
     let a: Vec<SparseGradient> =
         updates().iter().map(|sg| BitmapEncoded::encode(sg).decode().unwrap()).collect();
-    let b = vec![
-        SparseGradient { dense_dim: 64, indices: vec![0, 1, 2, 3], values: vec![9.0; 4] },
-        SparseGradient { dense_dim: 64, indices: vec![60, 61, 62], values: vec![-9.0; 3] },
-    ];
+    let d = dim() as u32;
+    let b: Vec<SparseGradient> = updates()
+        .iter()
+        .map(|sg| {
+            let mut indices: Vec<u32> = sg.indices.iter().map(|i| (i + 13) % d).collect();
+            indices.sort_unstable();
+            SparseGradient {
+                dense_dim: sg.dense_dim,
+                indices,
+                values: sg.values.iter().map(|v| -v).collect(),
+            }
+        })
+        .collect();
     let trace = |ups: &[SparseGradient]| {
         trace_of(Granularity::Element, |tr| {
-            aggregate(AggregatorKind::Advanced, ups, 64, tr);
+            aggregate(AggregatorKind::Advanced, ups, dim(), tr);
         })
     };
     assert_eq!(trace(&a), trace(&b));

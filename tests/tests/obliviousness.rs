@@ -78,6 +78,22 @@ fn grouped_fully_oblivious() {
     }
 }
 
+/// Proposition 5.2 extended to the parallel grouped path: for any fixed
+/// worker count the merged multi-thread trace is still a pure function of
+/// the input shape, at both observation granularities.
+#[test]
+fn grouped_parallel_oblivious_at_every_thread_count() {
+    use olive_core::aggregation::grouped::aggregate_grouped_with_threads;
+    let ins = inputs(&[17, 18, 19]);
+    for threads in [2usize, 4, 8] {
+        for granularity in [Granularity::Element, Granularity::Cacheline] {
+            assert_oblivious(granularity, &ins, |ups, tr| {
+                aggregate_grouped_with_threads(ups, 96, 2, threads, tr);
+            });
+        }
+    }
+}
+
 /// Adversarially structured inputs: extreme index skew (everyone sends
 /// the same coordinates) vs perfectly spread indices. If any oblivious
 /// algorithm's trace depended on collision structure, this would catch it.

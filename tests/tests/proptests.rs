@@ -1,8 +1,9 @@
 //! Property-based tests over the core invariants, spanning crates.
 
+use olive_core::aggregation::grouped::aggregate_grouped_with_threads;
 use olive_core::aggregation::{aggregate, reference_average, AggregatorKind};
 use olive_fl::SparseGradient;
-use olive_memsim::{trace_of, Granularity, NullTracer, TrackedBuf};
+use olive_memsim::{trace_of, Granularity, NullTracer, RecordingTracer, TrackedBuf};
 use olive_oblivious::sort::bitonic_sort_by_key;
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -73,6 +74,38 @@ proptest! {
             aggregate(AggregatorKind::Advanced, &b, 32, tr);
         });
         prop_assert_eq!(ta, tb);
+    }
+
+    /// The thread-aware tracer contract, end to end: for any input and
+    /// group size, the parallel grouped aggregation (a) returns bitwise
+    /// the serial output and (b) records the serial trace as a multiset
+    /// (events reorder across groups but none appear or vanish), for
+    /// worker counts 1, 2 and 8.
+    #[test]
+    fn grouped_parallel_matches_serial_trace_multiset_and_output(
+        updates in updates_strategy(8, 48),
+        h in 1usize..5,
+    ) {
+        let d = 48;
+        let run = |threads: usize| {
+            let mut tr = RecordingTracer::with_events(Granularity::Element);
+            let out = aggregate_grouped_with_threads(&updates, d, h, threads, &mut tr);
+            let mut ev: Vec<(u32, u64, bool)> = tr
+                .events()
+                .unwrap()
+                .iter()
+                .map(|a| (a.region, a.offset, a.op == olive_memsim::Op::Write))
+                .collect();
+            ev.sort_unstable();
+            let bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            (bits, ev)
+        };
+        let (serial_out, serial_ev) = run(1);
+        for threads in [2usize, 8] {
+            let (out, ev) = run(threads);
+            prop_assert_eq!(&out, &serial_out, "output drifted at threads={}", threads);
+            prop_assert_eq!(&ev, &serial_ev, "trace multiset drifted at threads={}", threads);
+        }
     }
 
     /// Bitonic sort sorts (against std) for arbitrary content and length.
