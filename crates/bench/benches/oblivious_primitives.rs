@@ -1,9 +1,11 @@
 //! Criterion microbench: the cost of obliviousness at the primitive level
-//! (o_select vs branch; bitonic network vs std unstable sort).
+//! (o_select vs branch; bitonic network vs std unstable sort), plus the
+//! sort-kernel matrix (scalar reference vs batched vs batched+threads).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use olive_memsim::{NullTracer, TrackedBuf};
 use olive_oblivious::sort::bitonic_sort_pow2;
+use olive_oblivious::sort_kernel::{bitonic_sort_u64_pow2_with, SortKernel};
 use olive_oblivious::{o_scan_read, o_select};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -38,10 +40,13 @@ fn bench_sort(c: &mut Criterion) {
     for n in [1usize << 12, 1 << 16] {
         let mut rng = SmallRng::seed_from_u64(1);
         let data: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        // The historical headline number: the process-default kernel
+        // (batched unless OLIVE_SORT_KERNEL=scalar), single-threaded —
+        // comparable against the PR 1 baselines in CHANGES.md.
         group.bench_with_input(BenchmarkId::new("bitonic_oblivious", n), &n, |b, _| {
             b.iter(|| {
                 let mut buf = TrackedBuf::new(0, data.clone());
-                bitonic_sort_pow2(&mut buf, |x| *x, &mut NullTracer);
+                olive_oblivious::bitonic_sort_u64_pow2_with_threads(&mut buf, 1, &mut NullTracer);
                 buf.into_inner()
             })
         });
@@ -56,6 +61,65 @@ fn bench_sort(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sort-kernel matrix: scalar reference vs batched (1 thread) vs
+/// batched + threads (`batched_threads`, at the process-default
+/// `OLIVE_THREADS` count), at n ∈ {2¹², 2¹⁶, 2²⁰}. The scalar reference
+/// is skipped at 2²⁰ unless `OLIVE_BENCH_FULL=1` (it alone would
+/// dominate the bench wall-clock ~20×).
+fn bench_sort_kernels(c: &mut Criterion) {
+    let full = std::env::var("OLIVE_BENCH_FULL").as_deref() == Ok("1");
+    let threads = olive_memsim::default_threads();
+    let mut group = c.benchmark_group("sort_kernel");
+    group.sample_size(10);
+    for n in [1usize << 12, 1 << 16, 1 << 20] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        if n <= 1 << 16 || full {
+            group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut buf = TrackedBuf::new(0, data.clone());
+                    bitonic_sort_pow2(&mut buf, |x| *x, &mut NullTracer);
+                    buf.into_inner()
+                })
+            });
+        } else {
+            println!(
+                "bench: sort_kernel/scalar/{n} ... skipped (set OLIVE_BENCH_FULL=1 to run the \
+                 scalar reference at this size)"
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("batched_t1", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = TrackedBuf::new(0, data.clone());
+                bitonic_sort_u64_pow2_with(&mut buf, SortKernel::Batched, 1, &mut NullTracer);
+                buf.into_inner()
+            })
+        });
+        // A machine-independent id (the count varies per machine and per
+        // OLIVE_THREADS) so JSON entries and skip lines correlate.
+        if threads > 1 {
+            group.bench_with_input(BenchmarkId::new("batched_threads", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut buf = TrackedBuf::new(0, data.clone());
+                    bitonic_sort_u64_pow2_with(
+                        &mut buf,
+                        SortKernel::Batched,
+                        threads,
+                        &mut NullTracer,
+                    );
+                    buf.into_inner()
+                })
+            });
+        } else {
+            println!(
+                "bench: sort_kernel/batched_threads/{n} ... skipped \
+                 (thread count is 1; would equal batched_t1)"
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_scan(c: &mut Criterion) {
     let buf = TrackedBuf::new(0, (0..4096u64).collect::<Vec<_>>());
     c.bench_function("o_scan_read_4096", |b| {
@@ -63,5 +127,5 @@ fn bench_scan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_select, bench_sort, bench_scan);
+criterion_group!(benches, bench_select, bench_sort, bench_sort_kernels, bench_scan);
 criterion_main!(benches);

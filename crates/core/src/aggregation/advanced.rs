@@ -40,17 +40,27 @@
 
 use olive_memsim::{Tracer, TrackedBuf};
 use olive_oblivious::primitives::Oblivious;
-use olive_oblivious::sort::{bitonic_sort_pow2, next_pow2};
+use olive_oblivious::sort::next_pow2;
+use olive_oblivious::sort_kernel::bitonic_sort_u64_pow2_with_threads;
 
 use crate::cell::{cell_index, cell_value, dummy_cell, make_cell};
+use crate::parallel::default_threads;
 use crate::regions::{REGION_G_STAR, REGION_SCRATCH};
 
 use super::linear::average_in_place;
 
 /// Computes the **un-averaged** dense sums via Algorithm 4, writing them
 /// into a fresh `G*` buffer which is returned for further (oblivious)
-/// processing. The trace depends only on `(cells.len(), d)`.
-pub(crate) fn sum_advanced<TR: Tracer>(cells: &[u64], d: usize, tr: &mut TR) -> TrackedBuf<f32> {
+/// processing. The trace depends only on `(cells.len(), d)` — the sorts
+/// run the process-default kernel (`OLIVE_SORT_KERNEL`), whose trace and
+/// output are identical to the scalar reference at every `threads` value
+/// (`olive_oblivious::sort_kernel`).
+pub(crate) fn sum_advanced<TR: Tracer>(
+    cells: &[u64],
+    d: usize,
+    threads: usize,
+    tr: &mut TR,
+) -> TrackedBuf<f32> {
     // Step 1: initialization — g ← g ∥ {(j, 0)} for j ∈ [d], then pad to a
     // power of two with dummy cells (which carry the maximal index and
     // sort behind everything real).
@@ -62,8 +72,9 @@ pub(crate) fn sum_advanced<TR: Tracer>(cells: &[u64], d: usize, tr: &mut TR) -> 
     v.resize(padded, dummy_cell());
     let mut g = TrackedBuf::new(REGION_SCRATCH, v);
 
-    // Step 2: oblivious sort by index (the packed u64 is index-major).
-    bitonic_sort_pow2(&mut g, |c| *c, tr);
+    // Step 2: oblivious sort by index (the packed u64 is index-major, so
+    // sorting by raw value is sorting by index).
+    bitonic_sort_u64_pow2_with_threads(&mut g, threads, tr);
 
     // Step 3: oblivious folding (Algorithm 4 lines 6–14). The accumulator
     // lives in registers; every pass writes position i−1 exactly once.
@@ -86,7 +97,7 @@ pub(crate) fn sum_advanced<TR: Tracer>(cells: &[u64], d: usize, tr: &mut TR) -> 
     g.write(last, make_cell(acc_idx, acc_val), tr);
 
     // Step 4: oblivious sort again; the d real survivors lead.
-    bitonic_sort_pow2(&mut g, |c| *c, tr);
+    bitonic_sort_u64_pow2_with_threads(&mut g, threads, tr);
 
     // Emit G*: a fixed in-order read of the first d cells and write-out.
     let mut gstar = TrackedBuf::<f32>::zeroed(REGION_G_STAR, d);
@@ -103,9 +114,23 @@ pub(crate) fn sum_advanced<TR: Tracer>(cells: &[u64], d: usize, tr: &mut TR) -> 
 }
 
 /// Algorithm 4 end-to-end: oblivious sums followed by the oblivious
-/// averaging pass. Returns the averaged dense update.
+/// averaging pass. Returns the averaged dense update. The sorts use the
+/// process-default thread count ([`default_threads`]).
 pub fn aggregate_advanced<TR: Tracer>(cells: &[u64], d: usize, n: usize, tr: &mut TR) -> Vec<f32> {
-    let mut gstar = sum_advanced(cells, d, tr);
+    aggregate_advanced_with_threads(cells, d, n, default_threads(), tr)
+}
+
+/// [`aggregate_advanced`] with an explicit worker-thread count for the
+/// intra-sort stage parallelism. Output and trace are identical at every
+/// thread count.
+pub fn aggregate_advanced_with_threads<TR: Tracer>(
+    cells: &[u64],
+    d: usize,
+    n: usize,
+    threads: usize,
+    tr: &mut TR,
+) -> Vec<f32> {
+    let mut gstar = sum_advanced(cells, d, threads, tr);
     average_in_place(&mut gstar, n, tr);
     gstar.into_inner()
 }
@@ -129,8 +154,31 @@ mod tests {
             make_cell(0, 0.4),
             make_cell(1, 0.1),
         ];
-        let sums = sum_advanced(&g, 4, &mut NullTracer).into_inner();
+        let sums = sum_advanced(&g, 4, 1, &mut NullTracer).into_inner();
         assert_close(&sums, &[0.4, 1.2, 0.9, 0.5], 1e-6);
+    }
+
+    #[test]
+    fn output_and_trace_invariant_across_thread_counts() {
+        use olive_memsim::RecordingTracer;
+        // 128 cells + d = 4000 pads the sort vector to 8192, past the
+        // kernel's internal parallelism threshold — threads ∈ {2, 8} must
+        // genuinely run the barrier path for this test to mean anything.
+        let d = 4000;
+        let updates = random_updates(8, 16, d, 77);
+        let cells = concat_cells(&updates);
+        let run = |threads: usize| {
+            let mut tr = RecordingTracer::new(Granularity::Element);
+            let out = aggregate_advanced_with_threads(&cells, d, 8, threads, &mut tr);
+            (out, tr.digest())
+        };
+        let (ref_out, ref_digest) = run(1);
+        for threads in [2usize, 8] {
+            let (out, digest) = run(threads);
+            let same = ref_out.iter().zip(out.iter()).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads} changed the f32 bits");
+            assert_eq!(digest, ref_digest, "threads={threads} changed the trace");
+        }
     }
 
     #[test]

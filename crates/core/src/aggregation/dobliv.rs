@@ -14,11 +14,12 @@
 //! which for ML-scale `d` exceeds the nk + d working set of Algorithm 4.
 
 use olive_memsim::{Tracer, TrackedBuf};
-use olive_oblivious::shuffle::oblivious_shuffle;
+use olive_oblivious::shuffle::oblivious_shuffle_with_threads;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cell::{cell_index, cell_value, make_cell};
+use crate::parallel::default_threads;
 use crate::regions::{REGION_G, REGION_G_STAR};
 
 use super::linear::average_in_place;
@@ -39,7 +40,8 @@ pub fn dummies_per_index<R: Rng>(k: usize, epsilon: f64, delta: f64, rng: &mut R
     (shift + laplace(scale, rng)).round().max(0.0) as usize
 }
 
-/// DO aggregation: pad, obliviously shuffle, linear-update, average.
+/// DO aggregation: pad, obliviously shuffle, linear-update, average. The
+/// shuffle's sorting network uses the process-default thread count.
 pub fn aggregate_dobliv<TR: Tracer>(
     cells: &[u64],
     d: usize,
@@ -47,6 +49,23 @@ pub fn aggregate_dobliv<TR: Tracer>(
     epsilon: f64,
     delta: f64,
     seed: u64,
+    tr: &mut TR,
+) -> Vec<f32> {
+    aggregate_dobliv_with_threads(cells, d, n, epsilon, delta, seed, default_threads(), tr)
+}
+
+/// [`aggregate_dobliv`] with an explicit worker-thread count for the
+/// shuffle's intra-sort stage parallelism. Output and trace are identical
+/// at every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn aggregate_dobliv_with_threads<TR: Tracer>(
+    cells: &[u64],
+    d: usize,
+    n: usize,
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+    threads: usize,
     tr: &mut TR,
 ) -> Vec<f32> {
     assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
@@ -60,7 +79,7 @@ pub fn aggregate_dobliv<TR: Tracer>(
         let m = dummies_per_index(k, epsilon, delta, &mut rng);
         padded.extend(std::iter::repeat_n(make_cell(j, 0.0), m));
     }
-    let shuffled = oblivious_shuffle(REGION_G, padded, &mut rng, tr);
+    let shuffled = oblivious_shuffle_with_threads(REGION_G, padded, &mut rng, threads, tr);
 
     // The now-DP-protected linear pass.
     let g = TrackedBuf::new(REGION_G, shuffled);

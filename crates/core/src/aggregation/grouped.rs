@@ -90,9 +90,15 @@ pub fn aggregate_grouped_with_threads<TR: ParallelTracer>(
     // the result to the next group").
     let mut total = TrackedBuf::<f32>::zeroed(REGION_G_STAR, d);
     if threads == 1 || n <= h {
+        // Serial group schedule: spend the whole thread budget *inside*
+        // each group's sorts instead (the intra-sort stage parallelism of
+        // `olive_oblivious::sort_kernel`) — this is what makes a single
+        // huge group (n <= h) scale. Sort output and trace are
+        // thread-count-invariant, so threads = 1 still reproduces the
+        // serial trace byte-for-byte.
         for group in updates.chunks(h) {
             let cells = concat_cells(group);
-            let partial = sum_advanced(&cells, d, tr);
+            let partial = sum_advanced(&cells, d, threads, tr);
             carry_into(&partial, &mut total, tr);
         }
     } else {
@@ -100,6 +106,11 @@ pub fn aggregate_grouped_with_threads<TR: ParallelTracer>(
         // memory at O(threads·d) and keeps the carry order serial.
         for wave in updates.chunks(h * threads) {
             let groups: Vec<&[SparseGradient]> = wave.chunks(h).collect();
+            // A full wave saturates the budget with one thread per group
+            // (intra = 1); a short wave (the tail, or n/h < threads) hands
+            // the leftover budget to each group's intra-sort stages. Safe
+            // because sort output and trace are thread-count-invariant.
+            let intra = (threads / groups.len()).max(1);
             let mut slots: Vec<Option<(TrackedBuf<f32>, TR::Worker)>> =
                 (0..groups.len()).map(|_| None).collect();
             std::thread::scope(|scope| {
@@ -107,7 +118,7 @@ pub fn aggregate_grouped_with_threads<TR: ParallelTracer>(
                     let mut wtr = tr.fork_worker();
                     scope.spawn(move || {
                         let cells = concat_cells(group);
-                        let partial = sum_advanced(&cells, d, &mut wtr);
+                        let partial = sum_advanced(&cells, d, intra, &mut wtr);
                         *slot = Some((partial, wtr));
                     });
                 }

@@ -65,9 +65,10 @@ pub enum AggregatorKind {
 
 /// Aggregates sparse client updates with the chosen algorithm, reporting
 /// every adversary-visible access to `tr`. Returns the averaged dense
-/// update of length `d`. Parallel algorithms (currently
-/// [`AggregatorKind::Grouped`]) use the process-default thread count
-/// ([`default_threads`]).
+/// update of length `d`. Parallel algorithms ([`AggregatorKind::Grouped`]
+/// across groups; [`AggregatorKind::Advanced`] and
+/// [`AggregatorKind::DiffOblivious`] inside their sorting networks) use
+/// the process-default thread count ([`default_threads`]).
 pub fn aggregate<TR: ParallelTracer>(
     kind: AggregatorKind,
     updates: &[SparseGradient],
@@ -79,7 +80,9 @@ pub fn aggregate<TR: ParallelTracer>(
 
 /// [`aggregate`] with an explicit worker-thread count for the parallel
 /// algorithms; serial algorithms ignore `threads`. `threads = 1`
-/// reproduces the exact serial traces of pre-parallel builds.
+/// reproduces the exact serial traces of pre-parallel builds (the
+/// sort-kernel trace is thread-count-invariant by construction, so for
+/// Advanced/DiffOblivious every thread count does).
 pub fn aggregate_with_threads<TR: ParallelTracer>(
     kind: AggregatorKind,
     updates: &[SparseGradient],
@@ -103,7 +106,7 @@ pub fn aggregate_with_threads<TR: ParallelTracer>(
         }
         AggregatorKind::Advanced => {
             let cells = concat_cells(updates);
-            advanced::aggregate_advanced(&cells, d, n, tr)
+            advanced::aggregate_advanced_with_threads(&cells, d, n, threads, tr)
         }
         AggregatorKind::Grouped { h } => {
             grouped::aggregate_grouped_with_threads(updates, d, h, threads, tr)
@@ -114,7 +117,7 @@ pub fn aggregate_with_threads<TR: ParallelTracer>(
         }
         AggregatorKind::DiffOblivious { epsilon, delta, seed } => {
             let cells = concat_cells(updates);
-            dobliv::aggregate_dobliv(&cells, d, n, epsilon, delta, seed, tr)
+            dobliv::aggregate_dobliv_with_threads(&cells, d, n, epsilon, delta, seed, threads, tr)
         }
     }
 }

@@ -1,44 +1,19 @@
 //! Thread-count policy for the data-parallel enclave paths.
 //!
-//! The grouped aggregation (Section 5.3) and client-side local training are
+//! The grouped aggregation (Section 5.3), the intra-sort stage parallelism
+//! (`olive_oblivious::sort_kernel`), and client-side local training are
 //! embarrassingly parallel over a *public* schedule, so intra-enclave
-//! threading cannot change the access-pattern distribution — each worker's
-//! trace is recorded independently and merged in group order (see
-//! `olive_memsim::ParallelTracer`). One knob controls every such region:
+//! threading cannot change the access-pattern distribution. One knob —
+//! `OLIVE_THREADS`, else `available_parallelism().min(8)` — controls every
+//! such region; every parallel entry point also takes an explicit
+//! `*_with_threads` override, and `1` runs the exact historical serial
+//! code path.
 //!
-//! * `OLIVE_THREADS=<n>` in the environment pins the default;
-//! * otherwise the default is `available_parallelism()`, capped at 8
-//!   (matching SGX enclave TCS budgets, and past which the memory-bound
-//!   sort shows no gain);
-//! * every parallel entry point also takes an explicit thread-count
-//!   parameter (`*_with_threads`) that overrides the default;
-//! * `1` runs the exact historical serial code path, byte-identical traces
-//!   included.
+//! The implementation lives in [`olive_memsim::threads`] (so the oblivious
+//! layer can share it without depending on this crate); this module
+//! re-exports it at its historical path.
 
-use std::sync::OnceLock;
-
-/// Hard cap on the default worker count (explicit parameters may exceed it).
-const MAX_DEFAULT_THREADS: usize = 8;
-
-/// The process-wide default worker count for parallel oblivious regions:
-/// `OLIVE_THREADS` if set to a positive integer, else
-/// `available_parallelism().min(8)`. Read once and cached — changing the
-/// environment mid-process has no effect; use the `*_with_threads` APIs
-/// for per-call control.
-pub fn default_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        if let Ok(v) = std::env::var("OLIVE_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
-            }
-            eprintln!("OLIVE_THREADS={v:?} is not a positive integer; using auto default");
-        }
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(MAX_DEFAULT_THREADS)
-    })
-}
+pub use olive_memsim::default_threads;
 
 #[cfg(test)]
 mod tests {

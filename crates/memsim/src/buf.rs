@@ -98,6 +98,16 @@ impl<T: Copy> TrackedBuf<T> {
         &self.data
     }
 
+    /// Untraced mutable view of the underlying data, for kernels that
+    /// account for their accesses **out of band** with block events whose
+    /// expansion is a pure function of `len()` (see
+    /// [`Tracer::touch_cex_span`]). The caller is responsible for emitting
+    /// a trace equivalent to the per-access one — never use this to skip
+    /// tracing.
+    pub fn as_mut_slice_untraced(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     /// Consumes the buffer, returning the underlying vector (untraced; see
     /// [`TrackedBuf::as_slice_untraced`]).
     pub fn into_inner(self) -> Vec<T> {

@@ -32,6 +32,7 @@ pub mod cache;
 pub mod check;
 pub mod digest;
 pub mod epc;
+pub mod threads;
 pub mod tracer;
 
 pub use buf::TrackedBuf;
@@ -39,6 +40,7 @@ pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use check::{assert_not_oblivious, assert_oblivious, trace_of};
 pub use digest::TraceDigest;
 pub use epc::{CostModel, EpcSim, EpcStats, SgxCostEstimate};
+pub use threads::default_threads;
 pub use tracer::{
     Access, Granularity, NullTracer, Op, ParallelTracer, RecordingTracer, RegionId, Tracer,
     TracerStats,

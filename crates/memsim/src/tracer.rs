@@ -61,6 +61,48 @@ pub trait Tracer {
     /// `region`.
     fn touch(&mut self, region: RegionId, byte_off: u64, len: u32, op: Op);
 
+    /// Records a contiguous run of bitonic compare-exchanges as **one
+    /// block event** (the sort kernel's batched trace API).
+    ///
+    /// The run covers comparators `first .. first + count` of a bitonic
+    /// stage with partner distance `stride` (a power of two) over
+    /// `elem_bytes`-sized elements. Comparator `t` exchanges elements
+    ///
+    /// ```text
+    /// i = ((t & !(stride - 1)) << 1) | (t & (stride - 1)),   l = i + stride
+    /// ```
+    ///
+    /// and its memory footprint is, by definition, `read i, read l,
+    /// write i, write l` — exactly what the scalar network performs via
+    /// `read_pair`/`write_pair`. The event is therefore a pure function of
+    /// its arguments; the default implementation *expands* it into those
+    /// per-element [`Tracer::touch`] calls, so recording tracers absorb a
+    /// digest **identical** to the scalar network's at every granularity
+    /// (the expansion rule — the block event's digest semantics). Tracers
+    /// that discard events ([`NullTracer`]) override this with a no-op, so
+    /// the batched kernel pays one virtual-call-free inlined no-op per
+    /// block instead of four dispatches per comparator.
+    #[inline]
+    fn touch_cex_span(
+        &mut self,
+        region: RegionId,
+        elem_bytes: u32,
+        stride: u64,
+        first: u64,
+        count: u64,
+    ) {
+        debug_assert!(stride.is_power_of_two(), "comparator stride must be a power of two");
+        let eb = elem_bytes as u64;
+        for t in first..first + count {
+            let i = ((t & !(stride - 1)) << 1) | (t & (stride - 1));
+            let l = i + stride;
+            self.touch(region, i * eb, elem_bytes, Op::Read);
+            self.touch(region, l * eb, elem_bytes, Op::Read);
+            self.touch(region, i * eb, elem_bytes, Op::Write);
+            self.touch(region, l * eb, elem_bytes, Op::Write);
+        }
+    }
+
     /// Whether this tracer keeps full event logs (used by code that can
     /// skip expensive bookkeeping otherwise).
     #[inline]
@@ -106,6 +148,9 @@ pub struct NullTracer;
 impl Tracer for NullTracer {
     #[inline(always)]
     fn touch(&mut self, _region: RegionId, _byte_off: u64, _len: u32, _op: Op) {}
+
+    #[inline(always)]
+    fn touch_cex_span(&mut self, _r: RegionId, _eb: u32, _stride: u64, _first: u64, _count: u64) {}
 }
 
 impl ParallelTracer for NullTracer {
@@ -430,6 +475,64 @@ mod tests {
         let mut w = t.fork_worker();
         w.touch(0, 0, 1, Op::Read);
         t.join_workers([w]);
+        assert!(!t.is_recording());
+    }
+
+    #[test]
+    fn cex_span_expands_to_scalar_comparator_sequence() {
+        // The block event must be digest-identical to the per-access trace
+        // of the scalar compare-exchange loop it summarizes.
+        let elem = 8u32;
+        for (stride, first, count) in [(1u64, 0u64, 8u64), (4, 0, 8), (4, 2, 5), (8, 3, 9)] {
+            let mut blocked = RecordingTracer::new(Granularity::Element);
+            blocked.touch_cex_span(3, elem, stride, first, count);
+            let mut scalar = RecordingTracer::new(Granularity::Element);
+            for t in first..first + count {
+                let i = ((t & !(stride - 1)) << 1) | (t & (stride - 1));
+                let l = i + stride;
+                scalar.touch(3, i * 8, elem, Op::Read);
+                scalar.touch(3, l * 8, elem, Op::Read);
+                scalar.touch(3, i * 8, elem, Op::Write);
+                scalar.touch(3, l * 8, elem, Op::Write);
+            }
+            assert_eq!(blocked.digest(), scalar.digest(), "stride {stride} first {first}");
+            assert_eq!(blocked.stats(), scalar.stats());
+        }
+    }
+
+    #[test]
+    fn cex_span_expansion_respects_granularity() {
+        // At cacheline granularity the expansion goes through the same
+        // reduce() as element accesses (8-byte elements → 8 per line).
+        let mut t = RecordingTracer::with_events(Granularity::Cacheline);
+        t.touch_cex_span(1, 8, 8, 0, 1); // comparator 0: elements 0 and 8
+        let lines: Vec<u64> = t.events().unwrap().iter().map(|a| a.offset).collect();
+        assert_eq!(lines, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn cex_span_splitting_is_associative() {
+        // One span of 16 comparators ≡ any contiguous split of it: the
+        // batched kernel may chunk spans at an arbitrary fixed block size.
+        let whole = {
+            let mut t = RecordingTracer::new(Granularity::Element);
+            t.touch_cex_span(0, 8, 4, 0, 16);
+            t.digest()
+        };
+        let split = {
+            let mut t = RecordingTracer::new(Granularity::Element);
+            t.touch_cex_span(0, 8, 4, 0, 5);
+            t.touch_cex_span(0, 8, 4, 5, 3);
+            t.touch_cex_span(0, 8, 4, 8, 8);
+            t.digest()
+        };
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn null_tracer_cex_span_is_silent() {
+        let mut t = NullTracer;
+        t.touch_cex_span(0, 8, 2, 0, 100);
         assert!(!t.is_recording());
     }
 

@@ -80,6 +80,15 @@ impl Oblivious for bool {
     }
 }
 
+impl Oblivious for u128 {
+    #[inline(always)]
+    fn o_select(flag: bool, x: Self, y: Self) -> Self {
+        let hi = o_select_u64(flag, (x >> 64) as u64, (y >> 64) as u64);
+        let lo = o_select_u64(flag, x as u64, y as u64);
+        ((hi as u128) << 64) | lo as u128
+    }
+}
+
 impl Oblivious for f32 {
     #[inline(always)]
     fn o_select(flag: bool, x: Self, y: Self) -> Self {

@@ -5,18 +5,60 @@
 //! reveals nothing about the realized permutation. Used by the
 //! differentially-oblivious aggregation ablation (Section 5.4), which
 //! pads with dummies and then obliviously shuffles before linear access.
+//!
+//! The tag and payload are packed key-major into one `u128`
+//! (`tag << 64 | payload`) so the batched sort kernel compare-exchanges
+//! whole words; `OLIVE_SORT_KERNEL=scalar` runs the reference network over
+//! the same packed words with a bitwise-identical result (the kernels
+//! share one swap rule, including on tag ties).
 
-use olive_memsim::{Tracer, TrackedBuf};
+use olive_memsim::{default_threads, Tracer, TrackedBuf};
 use rand::Rng;
 
-use crate::primitives::Oblivious;
-use crate::sort::{bitonic_sort_pow2, next_pow2};
+use crate::sort::next_pow2;
+use crate::sort_kernel::{bitonic_sort_tagged_pow2_with, sort_kernel, InlinePayload, SortKernel};
 
 /// Uniformly shuffles `data` with an oblivious (bitonic) permutation
-/// network; the memory trace depends only on `data.len()`.
+/// network using the process-default kernel and thread count; the memory
+/// trace depends only on `data.len()`.
 pub fn oblivious_shuffle<T, R, TR>(region: u32, data: Vec<T>, rng: &mut R, tr: &mut TR) -> Vec<T>
 where
-    T: Oblivious,
+    T: InlinePayload,
+    R: Rng,
+    TR: Tracer,
+{
+    oblivious_shuffle_with_threads(region, data, rng, default_threads(), tr)
+}
+
+/// [`oblivious_shuffle`] with an explicit worker-thread count for the
+/// intra-sort stage parallelism.
+pub fn oblivious_shuffle_with_threads<T, R, TR>(
+    region: u32,
+    data: Vec<T>,
+    rng: &mut R,
+    threads: usize,
+    tr: &mut TR,
+) -> Vec<T>
+where
+    T: InlinePayload,
+    R: Rng,
+    TR: Tracer,
+{
+    oblivious_shuffle_with(region, data, rng, sort_kernel(), threads, tr)
+}
+
+/// [`oblivious_shuffle`] with every knob explicit (differential tests
+/// compare kernels in one process, bypassing the env cache).
+pub fn oblivious_shuffle_with<T, R, TR>(
+    region: u32,
+    data: Vec<T>,
+    rng: &mut R,
+    kernel: SortKernel,
+    threads: usize,
+    tr: &mut TR,
+) -> Vec<T>
+where
+    T: InlinePayload,
     R: Rng,
     TR: Tracer,
 {
@@ -28,14 +70,17 @@ where
     // sorts to the back and truncates away. Key collisions among real
     // elements merely make the tie order deterministic, a negligible bias
     // at 63 bits.
-    let mut tagged: Vec<(u64, T)> = data.into_iter().map(|v| (rng.gen::<u64>() >> 1, v)).collect();
-    let pad = (u64::MAX, tagged[0].1);
+    let mut tagged: Vec<u128> = data
+        .into_iter()
+        .map(|v| (((rng.gen::<u64>() >> 1) as u128) << 64) | v.to_word() as u128)
+        .collect();
+    let pad = ((u64::MAX as u128) << 64) | (tagged[0] & u64::MAX as u128);
     tagged.resize(next_pow2(n), pad);
     let mut buf = TrackedBuf::new(region, tagged);
-    bitonic_sort_pow2(&mut buf, |c| c.0, tr);
+    bitonic_sort_tagged_pow2_with(&mut buf, kernel, threads, tr);
     let mut out = buf.into_inner();
     out.truncate(n);
-    out.into_iter().map(|(_, v)| v).collect()
+    out.into_iter().map(|w| T::from_word(w as u64)).collect()
 }
 
 #[cfg(test)]
@@ -73,6 +118,21 @@ mod tests {
             let mut rng = Rng::seed_from_u64(*seed);
             oblivious_shuffle(0, data.clone(), &mut rng, tr);
         });
+    }
+
+    #[test]
+    fn kernels_agree_bitwise_at_every_thread_count() {
+        // 5000 elements pad to 8192, past the kernel's parallelism
+        // threshold, so threads ∈ {2, 8} exercise the barrier path.
+        let data: Vec<u64> = (0..5000).map(|i| i * 31).collect();
+        let run = |kernel, threads| {
+            let mut rng = Rng::seed_from_u64(77);
+            oblivious_shuffle_with(0, data.clone(), &mut rng, kernel, threads, &mut NullTracer)
+        };
+        let reference = run(SortKernel::Scalar, 1);
+        for threads in [1usize, 2, 8] {
+            assert_eq!(run(SortKernel::Batched, threads), reference, "threads={threads}");
+        }
     }
 
     #[test]

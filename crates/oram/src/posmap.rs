@@ -172,9 +172,9 @@ mod tests {
 
     #[test]
     fn recursive_map_get_and_set() {
-        let n = 1000; // 63 blocks → recursive with linear base
+        let n = 520; // 33 blocks → recursive with linear base
         let mut pm = PosMap::build(PosMapKind::Recursive, n, 0, 2, |i| i as u32 ^ 0x5A5A);
-        for key in [0u32, 15, 16, 999, 500] {
+        for key in [0u32, 15, 16, 519, 500] {
             let old = pm.get_and_set(key, key + 7, &mut NullTracer);
             assert_eq!(old, key ^ 0x5A5A, "initial leaf of {key}");
             let again = pm.get_and_set(key, 0, &mut NullTracer);

@@ -16,12 +16,23 @@
 //! baseline-recording scripts parse. There is no statistical machinery
 //! (no outlier rejection, no HTML reports) — trend tracking lives in
 //! `CHANGES.md` baselines instead.
+//!
+//! Machine-readable output: when `OLIVE_BENCH_JSON=<path>` is set, each
+//! bench binary merges its results into a `{"bench_name": mean_ns, …}`
+//! JSON object at that path on exit (merge, not overwrite, because
+//! `cargo bench` runs one process per bench target and they share the
+//! file).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results recorded by [`run_one`] for the optional JSON report:
+/// `(bench name, mean ns/iter)` in completion order.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Opaque-to-the-optimizer identity function, mirroring
 /// `criterion::black_box`. Uses a volatile read via `std::hint`.
@@ -190,6 +201,7 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, window: Duration, tp: Option<Thro
         return;
     }
     let per_iter_ns = b.total.as_nanos() as f64 / b.iters_done as f64;
+    RESULTS.lock().unwrap().push((name.to_string(), per_iter_ns));
     let human = human_time(per_iter_ns);
     match tp {
         Some(Throughput::Bytes(n)) => {
@@ -209,6 +221,69 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, window: Duration, tp: Option<Thro
         }
         None => println!("bench: {name} ... {human}/iter ({} iters)", b.iters_done),
     }
+}
+
+/// Writes (merging) this process's bench results into the JSON file named
+/// by `OLIVE_BENCH_JSON`, if set. Called by [`criterion_main!`] after all
+/// groups run; no-op without the env var. The file holds one flat JSON
+/// object `{"bench_name": mean_ns, …}`, one entry per line; entries from
+/// earlier bench binaries are preserved, same-name entries are replaced.
+pub fn flush_json() {
+    let Ok(path) = std::env::var("OLIVE_BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let fresh = RESULTS.lock().unwrap();
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let out = merge_results_json(&existing, &fresh);
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("OLIVE_BENCH_JSON: failed to write {path}: {e}");
+    }
+}
+
+/// Merges `fresh` results into the JSON object serialized in `existing`
+/// and returns the new serialization. The format is this shim's own
+/// (stable, one `"name": ns` entry per line), so line-based parsing
+/// round-trips exactly; entries from earlier bench binaries are
+/// preserved, same-name entries are replaced.
+fn merge_results_json(existing: &str, fresh: &[(String, f64)]) -> String {
+    let mut merged: Vec<(String, f64)> = Vec::new();
+    for line in existing.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some((name, value)) = line.rsplit_once(':') {
+            // Strip exactly one quote per side: a name's own escaped
+            // trailing quote must survive for the round-trip to be exact.
+            let name = name.trim();
+            let name = name.strip_prefix('"').unwrap_or(name);
+            let name = name.strip_suffix('"').unwrap_or(name);
+            if let Ok(ns) = value.trim().parse::<f64>() {
+                if !name.is_empty() {
+                    merged.push((unescape_json(name), ns));
+                }
+            }
+        }
+    }
+    for (name, ns) in fresh {
+        match merged.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = *ns,
+            None => merged.push((name.clone(), *ns)),
+        }
+    }
+    let mut out = String::from("{\n");
+    for (i, (name, ns)) in merged.iter().enumerate() {
+        let comma = if i + 1 == merged.len() { "" } else { "," };
+        out.push_str(&format!("  \"{}\": {:.1}{}\n", escape_json(name), ns, comma));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape_json(s: &str) -> String {
+    s.replace("\\\"", "\"").replace("\\\\", "\\")
 }
 
 fn human_time(ns: f64) -> String {
@@ -279,6 +354,7 @@ macro_rules! criterion_main {
                 return;
             }
             $($group();)+
+            $crate::flush_json();
         }
     };
 }
@@ -301,5 +377,28 @@ mod tests {
     fn ids_format() {
         assert_eq!(BenchmarkId::new("sort", 128).to_string(), "sort/128");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn json_merge_round_trips_and_replaces() {
+        let first = merge_results_json("", &[("a/1".into(), 10.0), ("b".into(), 2.5)]);
+        assert_eq!(first, "{\n  \"a/1\": 10.0,\n  \"b\": 2.5\n}\n");
+        // A second binary adds one entry and re-measures an old one.
+        let second = merge_results_json(&first, &[("b".into(), 3.0), ("c".into(), 7.0)]);
+        assert_eq!(second, "{\n  \"a/1\": 10.0,\n  \"b\": 3.0,\n  \"c\": 7.0\n}\n");
+        // Idempotent on replay.
+        assert_eq!(merge_results_json(&second, &[]), second);
+    }
+
+    #[test]
+    fn json_escaping_round_trips() {
+        // Quotes mid-name, at the end, and backslashes: every shape must
+        // merge (replace) rather than duplicate on re-parse.
+        for odd in ["we\"ird\\name", "ends_with_quote\"", "\"starts", "trailing_backslash\\"] {
+            let one = merge_results_json("", &[(odd.to_string(), 1.0)]);
+            let two = merge_results_json(&one, &[(odd.to_string(), 2.0)]);
+            assert!(two.contains(": 2.0"), "{odd}: {two}");
+            assert_eq!(two.matches(": 2").count(), 1, "{odd} must merge, not duplicate");
+        }
     }
 }
