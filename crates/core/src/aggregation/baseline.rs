@@ -8,18 +8,34 @@
 //! slot congruent to the target index mod `c` (c = 16 for 4-byte weights)
 //! — for a 16× speedup while remaining cacheline-level fully oblivious
 //! (Proposition 5.1). Complexity O(nk·d/c), space O(nk + d).
+//!
+//! The per-cacheline scans are data-parallel (each cell's stripe slots are
+//! disjoint), so the scan splits `G*` into contiguous ranges across
+//! `OLIVE_THREADS` workers, each applying every cell to its own range in
+//! cell order. Like the sort kernel, the trace is emitted canonically by
+//! the caller ([`Tracer::touch_rw_stripe`] block events that expand to the
+//! serial read/write sequence), decoupled from the physical data movement,
+//! so output **and trace** are invariant across thread counts.
 
-use olive_memsim::{Tracer, TrackedBuf};
+use olive_memsim::{Op, Tracer, TrackedBuf};
 use olive_oblivious::o_select;
 
 use crate::cell::{cell_index, cell_value};
+use crate::parallel::default_threads;
 use crate::regions::{REGION_G, REGION_G_STAR};
 
 use super::linear::average_in_place;
 
+/// Bytes of one packed `(index, value)` cell in `G`.
+const CELL_BYTES: usize = core::mem::size_of::<u64>();
+
+/// Bytes of one dense weight in `G*`.
+const WEIGHT_BYTES: usize = core::mem::size_of::<f32>();
+
 /// Baseline aggregation over the concatenated cells. `cacheline_weights`
 /// is `c`: 1 = element-level oblivious full scan, 16 = the paper's
-/// cacheline optimization for f32 weights.
+/// cacheline optimization for f32 weights. Uses the process-default
+/// worker-thread count ([`default_threads`]).
 pub fn aggregate_baseline<TR: Tracer>(
     cells: &[u64],
     d: usize,
@@ -27,32 +43,83 @@ pub fn aggregate_baseline<TR: Tracer>(
     cacheline_weights: usize,
     tr: &mut TR,
 ) -> Vec<f32> {
+    aggregate_baseline_with_threads(cells, d, n, cacheline_weights, default_threads(), tr)
+}
+
+/// [`aggregate_baseline`] with an explicit worker-thread count. Every
+/// thread count produces the bitwise-identical output (each `G*` slot is
+/// owned by exactly one worker, which applies cells in order) and the
+/// byte-identical trace (emitted canonically before the data movement).
+pub fn aggregate_baseline_with_threads<TR: Tracer>(
+    cells: &[u64],
+    d: usize,
+    n: usize,
+    cacheline_weights: usize,
+    threads: usize,
+    tr: &mut TR,
+) -> Vec<f32> {
     assert!(cacheline_weights >= 1, "c must be at least 1");
     let c = cacheline_weights;
-    let g = TrackedBuf::new(REGION_G, cells.to_vec());
     // Pad G* to a multiple of c so every stripe has the same length —
     // otherwise the stripe length would leak `index mod c`.
     let padded = d.div_ceil(c) * c;
+    let slots = (padded / c) as u64;
     let mut gstar = TrackedBuf::<f32>::zeroed(REGION_G_STAR, padded);
-    for i in 0..g.len() {
-        let cell = g.read(i, tr);
+
+    // Canonical trace: one G read then one full stripe sweep per cell —
+    // exactly the serial access sequence, a function of the cells and the
+    // shape only, independent of how the data movement is scheduled.
+    for (i, &cell) in cells.iter().enumerate() {
+        tr.touch(REGION_G, (i * CELL_BYTES) as u64, CELL_BYTES as u32, Op::Read);
         let idx = cell_index(cell) as usize;
-        let val = cell_value(cell);
         debug_assert!(idx < d, "cell index out of range");
-        let offset = idx % c;
-        // One touched slot per cacheline, in address order.
-        let mut j = offset;
-        while j < padded {
-            let cur = gstar.read(j, tr);
-            let updated = o_select(j == idx, cur + val, cur);
-            gstar.write(j, updated, tr);
-            j += c;
-        }
+        tr.touch_rw_stripe(REGION_G_STAR, WEIGHT_BYTES as u32, (idx % c) as u64, c as u64, slots);
     }
+
+    let workers = if threads <= 1 { 1 } else { threads.min(padded) };
+    let data = gstar.as_mut_slice_untraced();
+    if workers == 1 {
+        scan_cells(cells, d, c, data, 0);
+    } else {
+        // Contiguous disjoint G* ranges; each worker applies every cell to
+        // its own range, preserving the serial per-slot accumulation order.
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            let mut lo = 0usize;
+            for w in 0..workers {
+                let hi = padded * (w + 1) / workers;
+                let (chunk, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                scope.spawn(move || scan_cells(cells, d, c, chunk, lo));
+                lo = hi;
+            }
+        });
+    }
+
     average_in_place(&mut gstar, n, tr);
     let mut out = gstar.into_inner();
     out.truncate(d);
     out
+}
+
+/// Applies every cell's stripe update to the `G*` range
+/// `[base, base + chunk.len())`: for each cell, visit the range's slots
+/// congruent to `index mod c` in address order, adding the value at the
+/// matching slot via a branchless select.
+fn scan_cells(cells: &[u64], d: usize, c: usize, chunk: &mut [f32], base: usize) {
+    for &cell in cells {
+        let idx = cell_index(cell) as usize;
+        let val = cell_value(cell);
+        debug_assert!(idx < d, "cell index out of range");
+        let offset = idx % c;
+        // First slot >= base congruent to offset mod c.
+        let mut j = base + (offset + c - base % c) % c;
+        while j < base + chunk.len() {
+            let cur = chunk[j - base];
+            chunk[j - base] = o_select(j == idx, cur + val, cur);
+            j += c;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +208,65 @@ mod tests {
         assert_oblivious(Granularity::Cacheline, &inputs, |cells, tr| {
             aggregate_baseline(cells, 50, 2, 16, tr);
         });
+    }
+
+    /// Output and trace are invariant across thread counts — the same
+    /// guarantee the grouped aggregation and the sort kernel make.
+    #[test]
+    fn thread_count_invariant_output_and_trace() {
+        let updates = random_updates(3, 7, 100, 21);
+        let cells = concat_cells(&updates);
+        for c in [1usize, 16] {
+            for granularity in [Granularity::Element, Granularity::Cacheline] {
+                let mut ref_tr = RecordingTracer::new(granularity);
+                let reference = aggregate_baseline_with_threads(&cells, 100, 3, c, 1, &mut ref_tr);
+                for threads in [2usize, 8] {
+                    let mut tr = RecordingTracer::new(granularity);
+                    let got = aggregate_baseline_with_threads(&cells, 100, 3, c, threads, &mut tr);
+                    assert_eq!(tr.digest(), ref_tr.digest(), "c={c} threads={threads}");
+                    assert_eq!(reference.len(), got.len());
+                    for (i, (a, b)) in reference.iter().zip(got.iter()).enumerate() {
+                        assert_eq!(a.to_bits(), b.to_bits(), "c={c} threads={threads} slot {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The canonical block-event trace expands to the exact per-access
+    /// sequence of the historical serial implementation (TrackedBuf reads
+    /// and writes), byte for byte.
+    #[test]
+    fn trace_matches_historical_serial_scan() {
+        let updates = random_updates(2, 5, 70, 13);
+        let cells = concat_cells(&updates);
+        let (d, n, c) = (70usize, 2usize, 16usize);
+        for granularity in [Granularity::Element, Granularity::Cacheline] {
+            // Pre-parallel reference: every access through TrackedBuf.
+            let mut href = RecordingTracer::new(granularity);
+            {
+                let g = TrackedBuf::new(REGION_G, cells.clone());
+                let padded = d.div_ceil(c) * c;
+                let mut gstar = TrackedBuf::<f32>::zeroed(REGION_G_STAR, padded);
+                for i in 0..g.len() {
+                    let cell = g.read(i, &mut href);
+                    let idx = cell_index(cell) as usize;
+                    let val = cell_value(cell);
+                    let mut j = idx % c;
+                    while j < padded {
+                        let cur = gstar.read(j, &mut href);
+                        gstar.write(j, o_select(j == idx, cur + val, cur), &mut href);
+                        j += c;
+                    }
+                }
+                average_in_place(&mut gstar, n, &mut href);
+            }
+            for threads in [1usize, 4] {
+                let mut tr = RecordingTracer::new(granularity);
+                aggregate_baseline_with_threads(&cells, d, n, c, threads, &mut tr);
+                assert_eq!(tr.digest(), href.digest(), "{granularity:?} threads={threads}");
+                assert_eq!(tr.stats(), href.stats());
+            }
+        }
     }
 }

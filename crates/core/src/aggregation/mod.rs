@@ -67,7 +67,8 @@ pub enum AggregatorKind {
 /// every adversary-visible access to `tr`. Returns the averaged dense
 /// update of length `d`. Parallel algorithms ([`AggregatorKind::Grouped`]
 /// across groups; [`AggregatorKind::Advanced`] and
-/// [`AggregatorKind::DiffOblivious`] inside their sorting networks) use
+/// [`AggregatorKind::DiffOblivious`] inside their sorting networks;
+/// [`AggregatorKind::Baseline`] across its per-cacheline stripe scans) use
 /// the process-default thread count ([`default_threads`]).
 pub fn aggregate<TR: ParallelTracer>(
     kind: AggregatorKind,
@@ -102,7 +103,7 @@ pub fn aggregate_with_threads<TR: ParallelTracer>(
         }
         AggregatorKind::Baseline { cacheline_weights } => {
             let cells = concat_cells(updates);
-            baseline::aggregate_baseline(&cells, d, n, cacheline_weights, tr)
+            baseline::aggregate_baseline_with_threads(&cells, d, n, cacheline_weights, threads, tr)
         }
         AggregatorKind::Advanced => {
             let cells = concat_cells(updates);

@@ -80,7 +80,54 @@ pub const INV_SBOX: [u8; 256] = build_inv_sbox(&SBOX);
 const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
 /// Maximum number of round keys (AES-256: 14 rounds + initial).
-const MAX_ROUND_KEYS: usize = 15;
+pub(crate) const MAX_ROUND_KEYS: usize = 15;
+
+/// FIPS 197 key expansion, shared by every backend: the schedule differs
+/// only in how `SubWord` is computed (S-box lookup here, bitsliced
+/// circuit in `engine::ct`, `AESENCLAST` in `engine::hw`), so the
+/// Nk/rounds bookkeeping and RCON wiring live exactly once. Returns the
+/// round keys and the round count for a 16/24/32-byte `key`.
+pub(crate) fn expand_key(
+    key: &[u8],
+    sub_word: fn([u8; 4]) -> [u8; 4],
+) -> Result<([[u8; 16]; MAX_ROUND_KEYS], usize), CryptoError> {
+    let (nk, rounds) = match key.len() {
+        16 => (4usize, 10usize),
+        24 => (6, 12),
+        32 => (8, 14),
+        _ => return Err(CryptoError::BadLength),
+    };
+    let nwords = 4 * (rounds + 1);
+    let mut w = [[0u8; 4]; 4 * MAX_ROUND_KEYS];
+    for i in 0..nk {
+        w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+    }
+    for i in nk..nwords {
+        let mut temp = w[i - 1];
+        if i % nk == 0 {
+            temp.rotate_left(1);
+            temp = sub_word(temp);
+            temp[0] ^= RCON[i / nk];
+        } else if nk > 6 && i % nk == 4 {
+            temp = sub_word(temp);
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - nk][j] ^ temp[j];
+        }
+    }
+    let mut round_keys = [[0u8; 16]; MAX_ROUND_KEYS];
+    for r in 0..=rounds {
+        for c in 0..4 {
+            round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+        }
+    }
+    Ok((round_keys, rounds))
+}
+
+/// `SubWord` via the lookup table (the table backend's primitive).
+fn sub_word_table(w: [u8; 4]) -> [u8; 4] {
+    w.map(|b| SBOX[b as usize])
+}
 
 /// An expanded AES key. Supports 128-, 192- and 256-bit keys.
 ///
@@ -101,40 +148,7 @@ impl Aes {
     /// Expands `key` (16, 24 or 32 bytes). Returns
     /// [`CryptoError::BadLength`] for any other length.
     pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
-        let (nk, rounds) = match key.len() {
-            16 => (4usize, 10usize),
-            24 => (6, 12),
-            32 => (8, 14),
-            _ => return Err(CryptoError::BadLength),
-        };
-        let nwords = 4 * (rounds + 1);
-        let mut w = [[0u8; 4]; 4 * MAX_ROUND_KEYS];
-        for i in 0..nk {
-            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
-        }
-        for i in nk..nwords {
-            let mut temp = w[i - 1];
-            if i % nk == 0 {
-                temp.rotate_left(1);
-                for b in &mut temp {
-                    *b = SBOX[*b as usize];
-                }
-                temp[0] ^= RCON[i / nk];
-            } else if nk > 6 && i % nk == 4 {
-                for b in &mut temp {
-                    *b = SBOX[*b as usize];
-                }
-            }
-            for j in 0..4 {
-                w[i][j] = w[i - nk][j] ^ temp[j];
-            }
-        }
-        let mut round_keys = [[0u8; 16]; MAX_ROUND_KEYS];
-        for r in 0..=rounds {
-            for c in 0..4 {
-                round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
-            }
-        }
+        let (round_keys, rounds) = expand_key(key, sub_word_table)?;
         Ok(Aes { round_keys, rounds })
     }
 

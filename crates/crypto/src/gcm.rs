@@ -4,9 +4,20 @@
 //! lines 8, 11, 22 of the paper: gradients are encrypted under the per-user
 //! shared key established by remote attestation, and the enclave verifies
 //! and decrypts them inside the trust boundary).
+//!
+//! The GCM composition (J0, CTR layout, GHASH over AAD ∥ ciphertext ∥
+//! lengths, tag masking) lives here once; the block cipher and the field
+//! multiplication dispatch to the backend selected by
+//! [`crate::engine::crypto_backend`] — hardware (AES-NI + PCLMULQDQ),
+//! bitsliced constant-time software, or the original lookup tables kept as
+//! the differential reference. All three produce bitwise-identical output.
 
 use crate::aes::Aes;
 use crate::ct::ct_eq;
+use crate::engine::ct::{gf_mul_ct, CtAes};
+#[cfg(target_arch = "x86_64")]
+use crate::engine::hw::{HwAes, HwGhash};
+use crate::engine::{crypto_backend, CryptoBackend};
 use crate::CryptoError;
 
 /// GCM nonce length in bytes (the 96-bit fast path).
@@ -17,11 +28,14 @@ pub const TAG_LEN: usize = 16;
 /// The GHASH reduction constant R = 11100001 || 0^120.
 const R: u128 = 0xE100_0000_0000_0000_0000_0000_0000_0000;
 
-/// Multiplication in GF(2^128) as specified in SP 800-38D §6.3.
+/// Multiplication in GF(2^128) as specified in SP 800-38D §6.3 — the
+/// table backend's field multiply and the differential reference the
+/// `ct`/`hw` multiplies are tested against. **Not constant-time** (both
+/// branches key on secret bits).
 ///
 /// Blocks are interpreted big-endian with bit 0 the most significant bit of
 /// the first byte.
-fn gf_mul(x: u128, y: u128) -> u128 {
+pub(crate) fn gf_mul(x: u128, y: u128) -> u128 {
     let mut z = 0u128;
     let mut v = x;
     for i in 0..128 {
@@ -43,20 +57,31 @@ fn block_to_u128(b: &[u8]) -> u128 {
     u128::from_be_bytes(buf)
 }
 
-/// GHASH over `aad` and `ciphertext` with hash subkey `h`.
-fn ghash(h: u128, aad: &[u8], ciphertext: &[u8]) -> u128 {
+/// GHASH over `aad` and `ciphertext` with hash subkey `h` and the field
+/// multiply `mul` of the active backend.
+fn ghash(h: u128, aad: &[u8], ciphertext: &[u8], mul: fn(u128, u128) -> u128) -> u128 {
     let mut y = 0u128;
     for chunk in aad.chunks(16) {
-        y = gf_mul(y ^ block_to_u128(chunk), h);
+        y = mul(y ^ block_to_u128(chunk), h);
     }
     for chunk in ciphertext.chunks(16) {
-        y = gf_mul(y ^ block_to_u128(chunk), h);
+        y = mul(y ^ block_to_u128(chunk), h);
     }
     let lens = ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
-    gf_mul(y ^ lens, h)
+    mul(y ^ lens, h)
 }
 
-/// An AES-GCM key.
+/// The backend-specific cipher state behind one GCM key.
+#[derive(Clone)]
+enum GcmImpl {
+    Table(Aes),
+    Ct(CtAes),
+    #[cfg(target_arch = "x86_64")]
+    Hw(HwAes, HwGhash),
+}
+
+/// An AES-GCM key on the process-default crypto backend (override with
+/// [`AesGcm::with_backend`]; every backend produces identical bytes).
 ///
 /// ```
 /// use olive_crypto::gcm::AesGcm;
@@ -69,17 +94,60 @@ fn ghash(h: u128, aad: &[u8], ciphertext: &[u8]) -> u128 {
 /// ```
 #[derive(Clone)]
 pub struct AesGcm {
-    aes: Aes,
+    imp: GcmImpl,
     /// Hash subkey H = E_K(0^128).
     h: u128,
 }
 
+impl core::fmt::Debug for AesGcm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The hash subkey H (and the backends' round keys / H powers) is
+        // key material: H alone enables tag forgery, so Debug prints the
+        // backend only.
+        let backend = match &self.imp {
+            GcmImpl::Table(_) => CryptoBackend::Table,
+            GcmImpl::Ct(_) => CryptoBackend::Ct,
+            #[cfg(target_arch = "x86_64")]
+            GcmImpl::Hw(..) => CryptoBackend::Hw,
+        };
+        f.debug_struct("AesGcm").field("backend", &backend).finish_non_exhaustive()
+    }
+}
+
 impl AesGcm {
-    /// Creates a GCM instance from a 16/24/32-byte AES key.
+    /// Creates a GCM instance from a 16/24/32-byte AES key on the
+    /// process-default backend ([`crypto_backend`]).
     pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
-        let aes = Aes::new(key)?;
-        let h = u128::from_be_bytes(aes.encrypt([0u8; 16]));
-        Ok(AesGcm { aes, h })
+        Self::with_backend(crypto_backend(), key)
+    }
+
+    /// Creates a GCM instance pinned to `backend` (differential tests
+    /// compare backends in one process, bypassing the env cache).
+    ///
+    /// # Panics
+    ///
+    /// If `backend` is not available on this CPU (callers gate on
+    /// [`CryptoBackend::is_available`]).
+    pub fn with_backend(backend: CryptoBackend, key: &[u8]) -> Result<Self, CryptoError> {
+        let mut imp = match backend {
+            CryptoBackend::Table => GcmImpl::Table(Aes::new(key)?),
+            CryptoBackend::Ct => GcmImpl::Ct(CtAes::new(key)?),
+            #[cfg(target_arch = "x86_64")]
+            CryptoBackend::Hw => {
+                let aes = HwAes::new(key)?;
+                GcmImpl::Hw(aes, HwGhash::new(0))
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            CryptoBackend::Hw => panic!("hw crypto backend requires x86-64"),
+        };
+        let mut hb = [0u8; 16];
+        imp_encrypt_block(&imp, &mut hb);
+        let h = u128::from_be_bytes(hb);
+        #[cfg(target_arch = "x86_64")]
+        if let GcmImpl::Hw(_, gh) = &mut imp {
+            *gh = HwGhash::new(h);
+        }
+        Ok(AesGcm { imp, h })
     }
 
     fn j0(&self, nonce: &[u8; NONCE_LEN]) -> [u8; 16] {
@@ -90,22 +158,42 @@ impl AesGcm {
     }
 
     fn ctr_xor(&self, j0: &[u8; 16], data: &mut [u8]) {
-        let mut counter = u32::from_be_bytes(j0[12..16].try_into().unwrap());
-        for chunk in data.chunks_mut(16) {
-            counter = counter.wrapping_add(1);
-            let mut block = *j0;
-            block[12..16].copy_from_slice(&counter.to_be_bytes());
-            self.aes.encrypt_block(&mut block);
-            for (b, k) in chunk.iter_mut().zip(block.iter()) {
-                *b ^= k;
+        match &self.imp {
+            GcmImpl::Table(aes) => {
+                let mut counter = u32::from_be_bytes(j0[12..16].try_into().unwrap());
+                for chunk in data.chunks_mut(16) {
+                    counter = counter.wrapping_add(1);
+                    let mut block = *j0;
+                    block[12..16].copy_from_slice(&counter.to_be_bytes());
+                    aes.encrypt_block(&mut block);
+                    for (b, k) in chunk.iter_mut().zip(block.iter()) {
+                        *b ^= k;
+                    }
+                }
             }
+            GcmImpl::Ct(aes) => aes.ctr_xor(j0, data),
+            #[cfg(target_arch = "x86_64")]
+            GcmImpl::Hw(aes, _) => aes.ctr_xor(j0, data),
         }
     }
 
+    /// Test hook: the raw CTR keystream XOR (differential suites compare
+    /// backends at exact chunk boundaries).
+    #[cfg(test)]
+    pub(crate) fn ctr_xor_for_tests(&self, j0: &[u8; 16], data: &mut [u8]) {
+        self.ctr_xor(j0, data)
+    }
+
     fn tag(&self, j0: &[u8; 16], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
-        let s = ghash(self.h, aad, ciphertext);
-        let e = u128::from_be_bytes(self.aes.encrypt(*j0));
-        (s ^ e).to_be_bytes()
+        let s = match &self.imp {
+            GcmImpl::Table(_) => ghash(self.h, aad, ciphertext, gf_mul),
+            GcmImpl::Ct(_) => ghash(self.h, aad, ciphertext, gf_mul_ct),
+            #[cfg(target_arch = "x86_64")]
+            GcmImpl::Hw(_, gh) => gh.ghash(aad, ciphertext),
+        };
+        let mut e = *j0;
+        imp_encrypt_block(&self.imp, &mut e);
+        (s ^ u128::from_be_bytes(e)).to_be_bytes()
     }
 
     /// Encrypts `plaintext`, authenticating `aad` as well. Returns
@@ -139,6 +227,16 @@ impl AesGcm {
         let mut out = ciphertext.to_vec();
         self.ctr_xor(&j0, &mut out);
         Ok(out)
+    }
+}
+
+/// Single-block encryption on whichever backend `imp` wraps.
+fn imp_encrypt_block(imp: &GcmImpl, block: &mut [u8; 16]) {
+    match imp {
+        GcmImpl::Table(aes) => aes.encrypt_block(block),
+        GcmImpl::Ct(aes) => aes.encrypt_block(block),
+        #[cfg(target_arch = "x86_64")]
+        GcmImpl::Hw(aes, _) => aes.encrypt_block(block),
     }
 }
 

@@ -4,22 +4,48 @@
 //! and each client derive their AES-GCM session key with
 //! `HKDF(salt = RA transcript hash, ikm = DH shared secret)`.
 
+use crate::engine::{crypto_backend, CryptoBackend};
 use crate::hmac::HmacSha256;
 use crate::sha256::DIGEST_LEN;
 
 /// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
 pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
-    HmacSha256::mac(salt, ikm)
+    extract_with_backend(crypto_backend(), salt, ikm)
 }
 
 /// HKDF-Expand: derives `len` bytes of output key material (`len <= 255*32`).
 pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
+    expand_with_backend(crypto_backend(), prk, info, len)
+}
+
+/// Convenience wrapper combining extract and expand.
+pub struct Hkdf;
+
+impl Hkdf {
+    /// `derive(salt, ikm, info, len)` = Expand(Extract(salt, ikm), info, len).
+    pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+        derive_with_backend(crypto_backend(), salt, ikm, info, len)
+    }
+}
+
+fn extract_with_backend(backend: CryptoBackend, salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = HmacSha256::with_backend(backend, salt);
+    h.update(ikm);
+    h.finalize()
+}
+
+fn expand_with_backend(
+    backend: CryptoBackend,
+    prk: &[u8; DIGEST_LEN],
+    info: &[u8],
+    len: usize,
+) -> Vec<u8> {
     assert!(len <= 255 * DIGEST_LEN, "HKDF-Expand output too long");
     let mut okm = Vec::with_capacity(len);
     let mut t: Vec<u8> = Vec::new();
     let mut counter = 1u8;
     while okm.len() < len {
-        let mut h = HmacSha256::new(prk);
+        let mut h = HmacSha256::with_backend(backend, prk);
         h.update(&t);
         h.update(info);
         h.update(&[counter]);
@@ -32,15 +58,17 @@ pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
     okm
 }
 
-/// Convenience wrapper combining extract and expand.
-pub struct Hkdf;
-
-impl Hkdf {
-    /// `derive(salt, ikm, info, len)` = Expand(Extract(salt, ikm), info, len).
-    pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
-        let prk = hkdf_extract(salt, ikm);
-        hkdf_expand(&prk, info, len)
-    }
+/// HKDF pinned to a specific crypto backend (the engine's entry point;
+/// `HmacSha256` carries the backend through both stages).
+pub(crate) fn derive_with_backend(
+    backend: CryptoBackend,
+    salt: &[u8],
+    ikm: &[u8],
+    info: &[u8],
+    len: usize,
+) -> Vec<u8> {
+    let prk = extract_with_backend(backend, salt, ikm);
+    expand_with_backend(backend, &prk, info, len)
 }
 
 #[cfg(test)]

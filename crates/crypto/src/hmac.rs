@@ -1,8 +1,10 @@
 //! RFC 2104 HMAC instantiated with SHA-256.
 
+use crate::engine::{crypto_backend, CryptoBackend};
 use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
 
-/// Incremental HMAC-SHA256.
+/// Incremental HMAC-SHA256 on the process-default crypto backend
+/// (override with [`HmacSha256::with_backend`]).
 ///
 /// Used by [`crate::hkdf`] for session-key derivation after remote
 /// attestation, and by the simulated attestation service to authenticate
@@ -17,10 +19,17 @@ pub struct HmacSha256 {
 impl HmacSha256 {
     /// Creates an HMAC context keyed with `key` (any length).
     pub fn new(key: &[u8]) -> Self {
+        Self::with_backend(crypto_backend(), key)
+    }
+
+    /// Creates an HMAC context pinned to `backend` (both hash passes and
+    /// the long-key digest run on it).
+    pub fn with_backend(backend: CryptoBackend, key: &[u8]) -> Self {
         let mut k = [0u8; BLOCK_LEN];
         if key.len() > BLOCK_LEN {
-            let d = crate::sha256::sha256(key);
-            k[..DIGEST_LEN].copy_from_slice(&d);
+            let mut h = Sha256::with_backend(backend);
+            h.update(key);
+            k[..DIGEST_LEN].copy_from_slice(&h.finalize());
         } else {
             k[..key.len()].copy_from_slice(key);
         }
@@ -30,9 +39,9 @@ impl HmacSha256 {
             ipad[i] ^= k[i];
             opad[i] ^= k[i];
         }
-        let mut inner = Sha256::new();
+        let mut inner = Sha256::with_backend(backend);
         inner.update(&ipad);
-        let mut outer = Sha256::new();
+        let mut outer = Sha256::with_backend(backend);
         outer.update(&opad);
         HmacSha256 { inner, outer }
     }

@@ -24,19 +24,28 @@
 //! The primitives used on the *data path* (SHA-256, AES-GCM) are real,
 //! full-strength implementations; only the asymmetric pieces are simulation
 //! stand-ins.
+//!
+//! Since PR 4 the symmetric primitives run on a runtime-dispatched
+//! [`engine`]: hardware ISA extensions (AES-NI/VAES, PCLMULQDQ, SHA-NI),
+//! a bitsliced constant-time software fallback, or the original
+//! lookup-table code kept as the differential reference
+//! (`OLIVE_CRYPTO=hw|ct|table`). Unsafe code is denied crate-wide and
+//! allowed only in the intrinsics-backed `engine::hw` module.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
 pub mod ct;
 pub mod dh;
+pub mod engine;
 pub mod gcm;
 pub mod hkdf;
 pub mod hmac;
 pub mod sha256;
 
 pub use aes::Aes;
+pub use engine::{available_backends, crypto_backend, CryptoBackend, CryptoEngine};
 pub use gcm::{open, seal, AesGcm, GcmError, NONCE_LEN, TAG_LEN};
 pub use hkdf::{hkdf_expand, hkdf_extract, Hkdf};
 pub use hmac::HmacSha256;

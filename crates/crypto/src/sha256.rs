@@ -3,6 +3,15 @@
 //! Used for enclave measurements (Section 2.2 of the paper: the remote
 //! attestation report carries a hash of the initial enclave state), for
 //! HMAC/HKDF, and for Fiat–Shamir challenges in the simulated EPID signature.
+//!
+//! The padding/buffering frame lives here once; the compression function
+//! dispatches per the backend selected by [`crate::engine::crypto_backend`]
+//! — SHA-NI when the `hw` backend is active and the CPU supports it, the
+//! software compressor otherwise (which is already constant-time: pure
+//! arithmetic, constants indexed by public loop counters only, so the `ct`
+//! and `table` backends share it). Both produce identical digests.
+
+use crate::engine::{crypto_backend, CryptoBackend};
 
 /// Output size of SHA-256 in bytes.
 pub const DIGEST_LEN: usize = 32;
@@ -10,7 +19,7 @@ pub const DIGEST_LEN: usize = 32;
 /// Block size of SHA-256 in bytes (relevant for HMAC).
 pub const BLOCK_LEN: usize = 64;
 
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -21,11 +30,31 @@ const K: [u32; 64] = [
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
-const H0: [u32; 8] = [
+pub(crate) const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
-/// Incremental SHA-256 hasher.
+/// Which compression function a hasher runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShaImpl {
+    Soft,
+    #[cfg(target_arch = "x86_64")]
+    ShaNi,
+}
+
+impl ShaImpl {
+    fn for_backend(backend: CryptoBackend) -> ShaImpl {
+        match backend {
+            #[cfg(target_arch = "x86_64")]
+            CryptoBackend::Hw if crate::engine::hw::sha_available() => ShaImpl::ShaNi,
+            _ => ShaImpl::Soft,
+        }
+    }
+}
+
+/// Incremental SHA-256 hasher on the process-default crypto backend
+/// (override with [`Sha256::with_backend`]; every backend produces
+/// identical digests).
 ///
 /// ```
 /// use olive_crypto::sha256::Sha256;
@@ -44,6 +73,7 @@ pub struct Sha256 {
     len: u64,
     buf: [u8; BLOCK_LEN],
     buf_len: usize,
+    imp: ShaImpl,
 }
 
 impl Default for Sha256 {
@@ -53,9 +83,21 @@ impl Default for Sha256 {
 }
 
 impl Sha256 {
-    /// Creates a fresh hasher.
+    /// Creates a fresh hasher on the process-default backend.
     pub fn new() -> Self {
-        Sha256 { state: H0, len: 0, buf: [0; BLOCK_LEN], buf_len: 0 }
+        Self::with_backend(crypto_backend())
+    }
+
+    /// Creates a fresh hasher pinned to `backend` (SHA-NI for `hw` when
+    /// the CPU has it, the software compressor otherwise).
+    pub fn with_backend(backend: CryptoBackend) -> Self {
+        Sha256 {
+            state: H0,
+            len: 0,
+            buf: [0; BLOCK_LEN],
+            buf_len: 0,
+            imp: ShaImpl::for_backend(backend),
+        }
     }
 
     /// Absorbs `data` into the hash state.
@@ -69,7 +111,7 @@ impl Sha256 {
             data = &data[take..];
             if self.buf_len == BLOCK_LEN {
                 let block = self.buf;
-                self.compress(&block);
+                self.compress_blocks(&block);
                 self.buf_len = 0;
             }
             if data.is_empty() {
@@ -78,15 +120,23 @@ impl Sha256 {
                 return;
             }
         }
-        let mut chunks = data.chunks_exact(BLOCK_LEN);
-        for block in &mut chunks {
-            let mut b = [0u8; BLOCK_LEN];
-            b.copy_from_slice(block);
-            self.compress(&b);
+        let whole = data.len() - data.len() % BLOCK_LEN;
+        if whole > 0 {
+            self.compress_blocks(&data[..whole]);
         }
-        let rem = chunks.remainder();
+        let rem = &data[whole..];
         self.buf[..rem.len()].copy_from_slice(rem);
         self.buf_len = rem.len();
+    }
+
+    /// Runs the compression function over whole blocks on the selected
+    /// implementation (`blocks.len()` is a multiple of [`BLOCK_LEN`]).
+    fn compress_blocks(&mut self, blocks: &[u8]) {
+        match self.imp {
+            ShaImpl::Soft => compress_soft(&mut self.state, blocks),
+            #[cfg(target_arch = "x86_64")]
+            ShaImpl::ShaNi => crate::engine::hw::sha256_compress_ni(&mut self.state, blocks),
+        }
     }
 
     /// Finishes the hash and returns the 32-byte digest.
@@ -97,7 +147,7 @@ impl Sha256 {
         let mut last = [0u8; BLOCK_LEN];
         last[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
         last[BLOCK_LEN - 8..].copy_from_slice(&bit_len.to_be_bytes());
-        self.compress(&last);
+        self.compress_blocks(&last);
         let mut out = [0u8; DIGEST_LEN];
         for (i, w) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
@@ -115,7 +165,7 @@ impl Sha256 {
                 *b = 0;
             }
             let block = self.buf;
-            self.compress(&block);
+            self.compress_blocks(&block);
             self.buf = [0; BLOCK_LEN];
             self.buf_len = 0;
         } else {
@@ -126,8 +176,15 @@ impl Sha256 {
         // `finalize` writes the length into the tail of the final block.
         self.buf_len = self.buf_len.min(BLOCK_LEN - 8);
     }
+}
 
-    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+/// The software compression function over whole 64-byte blocks —
+/// constant-time by construction (pure arithmetic; `K` is indexed by the
+/// public loop counter only), shared by the `ct` and `table` backends and
+/// the differential reference for SHA-NI.
+pub(crate) fn compress_soft(state: &mut [u32; 8], blocks: &[u8]) {
+    debug_assert!(blocks.len().is_multiple_of(BLOCK_LEN));
+    for block in blocks.chunks_exact(BLOCK_LEN) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -142,7 +199,7 @@ impl Sha256 {
             let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
             w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
@@ -159,14 +216,14 @@ impl Sha256 {
             b = a;
             a = t1.wrapping_add(t2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
     }
 }
 

@@ -1,0 +1,81 @@
+//! Grep-style lint over the constant-time backend sources: the `ct` and
+//! `hw` engine modules must contain **no secret-indexed table lookups**
+//! (`SBOX[b as usize]`-style) and no secret-conditioned control flow of
+//! the kinds the table backend uses.
+//!
+//! Source scanning is a blunt instrument, so the rules are written to be
+//! mechanically checkable: the backend modules simply never use the
+//! patterns, rather than using them "safely". Implementation code is
+//! scanned up to its `#[cfg(test)]` module (tests are free to index the
+//! S-box — they verify against it).
+
+use std::path::Path;
+
+/// Implementation slice of a source file: everything before its unit-test
+/// module, with comments stripped (docs may *name* the banned patterns;
+/// only code is held to them).
+fn implementation_of(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/engine").join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let implementation = src.split("#[cfg(test)]").next().expect("split yields at least one piece");
+    implementation
+        .lines()
+        .map(|line| line.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn assert_clean(name: &str, src: &str) {
+    // Secret-indexed lookup tables: the table backend's S-box (and any
+    // lookalike) plus the general `table[byte as usize]` indexing shape.
+    // The constant-time modules index only with loop counters, which are
+    // already `usize` and never need a cast inside the brackets.
+    for forbidden in ["SBOX", "LUT", "as usize]", "lookup"] {
+        assert!(
+            !src.contains(forbidden),
+            "{name}: found {forbidden:?} — secret-indexed table lookups are banned in the \
+             constant-time backends"
+        );
+    }
+    // Secret-conditioned branching: the shift/xor GHASH and the bitsliced
+    // S-box must select with masks, never `if bit == 1`. Public-structure
+    // conditionals in these modules are length/feature checks, which are
+    // written as matches/guards on lengths — `if` on a masked bit value is
+    // the telltale pattern of the table code.
+    for forbidden in ["& 1 == 1", "& 1 != 0", "== 1 {"] {
+        assert!(
+            !src.contains(forbidden),
+            "{name}: found {forbidden:?} — secret-bit branches are banned in the constant-time \
+             backends (use mask arithmetic)"
+        );
+    }
+}
+
+#[test]
+fn ct_backend_has_no_secret_indexed_lookups_or_branches() {
+    let src = implementation_of("ct.rs");
+    assert_clean("engine/ct.rs", &src);
+    // Sanity: the scan actually covered the implementation.
+    assert!(src.contains("bs_sbox"), "scan target drifted — bitsliced S-box not found");
+}
+
+#[test]
+fn hw_backend_has_no_secret_indexed_lookups_or_branches() {
+    let src = implementation_of("hw.rs");
+    assert_clean("engine/hw.rs", &src);
+    assert!(src.contains("_mm_aesenc_si128"), "scan target drifted — AES-NI rounds not found");
+}
+
+/// The table backend is *supposed* to contain the forbidden patterns —
+/// if it stops matching, the lint above has lost its teeth.
+#[test]
+fn table_backend_still_triggers_the_lint() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/aes.rs");
+    let src = std::fs::read_to_string(path).unwrap();
+    let implementation = src.split("#[cfg(test)]").next().unwrap();
+    assert!(
+        implementation.contains("SBOX") && implementation.contains("as usize]"),
+        "table backend no longer matches the lint patterns; update ct_lint.rs"
+    );
+}

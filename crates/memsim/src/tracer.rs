@@ -103,6 +103,35 @@ pub trait Tracer {
         }
     }
 
+    /// Records a contiguous run of read-modify-write slot accesses as **one
+    /// block event** (the Baseline aggregation's stripe-scan trace API).
+    ///
+    /// The run covers slots `first, first + stride, …` (`count` of them) of
+    /// `elem_bytes`-sized elements; each slot's footprint is, by definition,
+    /// `read slot, write slot` — exactly what the serial scan performs via
+    /// `TrackedBuf::read`/`TrackedBuf::write`. Like [`Tracer::touch_cex_span`]
+    /// the event is a pure function of its arguments: the default
+    /// implementation expands it into those per-element [`Tracer::touch`]
+    /// calls so recording tracers absorb a digest identical to the serial
+    /// scan's at every granularity, while [`NullTracer`] overrides it with a
+    /// no-op so batched kernels pay nothing per block.
+    #[inline]
+    fn touch_rw_stripe(
+        &mut self,
+        region: RegionId,
+        elem_bytes: u32,
+        first: u64,
+        stride: u64,
+        count: u64,
+    ) {
+        let eb = elem_bytes as u64;
+        for t in 0..count {
+            let j = first + t * stride;
+            self.touch(region, j * eb, elem_bytes, Op::Read);
+            self.touch(region, j * eb, elem_bytes, Op::Write);
+        }
+    }
+
     /// Whether this tracer keeps full event logs (used by code that can
     /// skip expensive bookkeeping otherwise).
     #[inline]
@@ -151,6 +180,9 @@ impl Tracer for NullTracer {
 
     #[inline(always)]
     fn touch_cex_span(&mut self, _r: RegionId, _eb: u32, _stride: u64, _first: u64, _count: u64) {}
+
+    #[inline(always)]
+    fn touch_rw_stripe(&mut self, _r: RegionId, _eb: u32, _first: u64, _stride: u64, _count: u64) {}
 }
 
 impl ParallelTracer for NullTracer {
@@ -527,6 +559,24 @@ mod tests {
             t.digest()
         };
         assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn rw_stripe_expands_to_serial_scan_sequence() {
+        // The block event must be digest-identical to the per-access trace
+        // of the serial read/write stripe scan it summarizes.
+        for (first, stride, count) in [(0u64, 16u64, 4u64), (3, 16, 4), (7, 1, 9), (2, 8, 1)] {
+            let mut blocked = RecordingTracer::new(Granularity::Element);
+            blocked.touch_rw_stripe(2, 4, first, stride, count);
+            let mut serial = RecordingTracer::new(Granularity::Element);
+            for t in 0..count {
+                let j = first + t * stride;
+                serial.touch(2, j * 4, 4, Op::Read);
+                serial.touch(2, j * 4, 4, Op::Write);
+            }
+            assert_eq!(blocked.digest(), serial.digest(), "first {first} stride {stride}");
+            assert_eq!(blocked.stats(), serial.stats());
+        }
     }
 
     #[test]

@@ -5,8 +5,7 @@
 //! sparsified gradient encoding under that key with a monotone nonce.
 
 use olive_crypto::dh::DhKeyPair;
-use olive_crypto::gcm::AesGcm;
-use olive_crypto::hkdf::Hkdf;
+use olive_crypto::CryptoEngine;
 
 use crate::attestation::{verify_quote, AttestationError, Measurement, Quote};
 use crate::enclave::{nonce_bytes, session_info};
@@ -41,6 +40,9 @@ pub struct ClientSession {
     key: [u8; 32],
     dh: DhKeyPair,
     nonce_counter: u64,
+    /// The crypto backend sealing this client's uploads (one dispatch
+    /// decision shared with the enclave side via [`CryptoEngine::auto`]).
+    engine: CryptoEngine,
 }
 
 impl core::fmt::Debug for ClientSession {
@@ -67,16 +69,17 @@ impl ClientSession {
         seed: [u8; 32],
     ) -> Result<Self, AttestationError> {
         verify_quote(platform_public, expected_measurement, quote)?;
+        let engine = CryptoEngine::auto();
         let mut dh_seed = seed;
         dh_seed[30] ^= user as u8;
         dh_seed[29] ^= (user >> 8) as u8;
         let dh = DhKeyPair::from_seed(&dh_seed);
         let shared = dh.shared_secret(quote.report.enclave_dh_public);
-        let key: [u8; 32] =
-            Hkdf::derive(&quote.report.transcript_hash(), &shared, &session_info(user), 32)
-                .try_into()
-                .expect("hkdf returns requested length");
-        Ok(ClientSession { user, key, dh, nonce_counter: 0 })
+        let key: [u8; 32] = engine
+            .hkdf(&quote.report.transcript_hash(), &shared, &session_info(user), 32)
+            .try_into()
+            .expect("hkdf returns requested length");
+        Ok(ClientSession { user, key, dh, nonce_counter: 0, engine })
     }
 
     /// The client's DH share the enclave needs to derive the same key.
@@ -98,7 +101,7 @@ impl ClientSession {
             nonce_counter: self.nonce_counter,
             ciphertext: Vec::new(),
         };
-        let gcm = AesGcm::new(&self.key).expect("32-byte key");
+        let gcm = self.engine.aes_gcm(&self.key).expect("32-byte key");
         msg.ciphertext = gcm.seal(&nonce_bytes(self.nonce_counter), payload, &msg.aad());
         msg
     }

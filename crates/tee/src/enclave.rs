@@ -1,10 +1,15 @@
 //! The simulated enclave: lifecycle, key store, sealing, EPC accounting.
+//!
+//! All symmetric crypto on the trusted path goes through one
+//! [`CryptoEngine`] chosen at launch (AES-NI/SHA-NI, bitsliced
+//! constant-time, or the table reference — `OLIVE_CRYPTO`), so the whole
+//! deployment runs on a single dispatch decision.
 
 use std::collections::HashMap;
 
 use olive_crypto::dh::DhKeyPair;
-use olive_crypto::gcm::{AesGcm, NONCE_LEN};
-use olive_crypto::hkdf::Hkdf;
+use olive_crypto::gcm::NONCE_LEN;
+use olive_crypto::CryptoEngine;
 
 use crate::attestation::{measure, AttestationService, Measurement, Quote, Report};
 use crate::channel::SealedMessage;
@@ -110,8 +115,13 @@ pub struct Enclave {
     round_sample: Vec<UserId>,
     /// Monotone sealing key derived from the measurement + platform secret.
     sealing_key: [u8; 32],
+    /// Per-label monotonic sealing counters: GCM nonces must never repeat
+    /// under one key, so each (label, counter) pair seals at most once.
+    seal_counters: HashMap<Vec<u8>, u64>,
     /// EPC accounting.
     pub epc: EpcBudget,
+    /// The crypto backend servicing every seal/open/MAC in this enclave.
+    engine: CryptoEngine,
     transcript_salt: [u8; 32],
 }
 
@@ -119,11 +129,13 @@ impl Enclave {
     /// Creates and "launches" an enclave: computes its measurement and an
     /// ephemeral DH key pair from `seed`.
     pub fn launch(config: &EnclaveConfig, seed: [u8; 32]) -> Self {
+        let engine = CryptoEngine::auto();
         let measurement = measure(&config.code_identity, &config.epc_bytes.to_be_bytes());
         let mut dh_seed = seed;
         dh_seed[31] ^= 0x3C;
         let dh = DhKeyPair::from_seed(&dh_seed);
-        let sealing_key: [u8; 32] = Hkdf::derive(&measurement, &seed, b"olive-sealing-v1", 32)
+        let sealing_key: [u8; 32] = engine
+            .hkdf(&measurement, &seed, b"olive-sealing-v1", 32)
             .try_into()
             .expect("hkdf returns requested length");
         Enclave {
@@ -133,7 +145,9 @@ impl Enclave {
             last_nonce: HashMap::new(),
             round_sample: Vec::new(),
             sealing_key,
+            seal_counters: HashMap::new(),
             epc: EpcBudget { limit: config.epc_bytes, ..Default::default() },
+            engine,
             transcript_salt: [0u8; 32],
         }
     }
@@ -141,6 +155,12 @@ impl Enclave {
     /// The enclave's measurement (what clients must pin).
     pub fn measurement(&self) -> Measurement {
         self.measurement
+    }
+
+    /// The crypto engine this enclave dispatches to (what a deployment
+    /// reports next to its measurement).
+    pub fn crypto_engine(&self) -> CryptoEngine {
+        self.engine
     }
 
     /// Produces the attestation report and obtains a platform quote.
@@ -159,7 +179,9 @@ impl Enclave {
     /// Algorithm 1 line 1).
     pub fn register_client(&mut self, user: UserId, client_dh_public: u64) {
         let shared = self.dh.shared_secret(client_dh_public);
-        let key: [u8; 32] = Hkdf::derive(&self.transcript_salt, &shared, &session_info(user), 32)
+        let key: [u8; 32] = self
+            .engine
+            .hkdf(&self.transcript_salt, &shared, &session_info(user), 32)
             .try_into()
             .expect("hkdf returns requested length");
         self.keystore.insert(user, key);
@@ -193,7 +215,7 @@ impl Enclave {
         if msg.nonce_counter <= last {
             return Err(TeeError::Replay);
         }
-        let gcm = AesGcm::new(key).expect("32-byte key");
+        let gcm = self.engine.aes_gcm(key).expect("32-byte key");
         let nonce = nonce_bytes(msg.nonce_counter);
         let plain =
             gcm.open(&nonce, &msg.ciphertext, &msg.aad()).map_err(|_| TeeError::AuthFailure)?;
@@ -202,38 +224,80 @@ impl Enclave {
     }
 
     /// Encrypts enclave state for untrusted storage (sealing).
-    pub fn seal(&self, plaintext: &[u8], label: &[u8]) -> Vec<u8> {
-        let gcm = AesGcm::new(&self.sealing_key).expect("32-byte key");
-        // Sealing nonce: fixed per label; sealing the same label twice in
-        // this simulation overwrites, which matches monotonic state.
-        let mut nonce = [0u8; NONCE_LEN];
-        let lh = crate::attestation::digest(label);
-        nonce.copy_from_slice(&lh[..NONCE_LEN]);
-        gcm.seal(&nonce, plaintext, label)
+    ///
+    /// The nonce is derived from a **per-label monotonic counter** —
+    /// sealing the same label twice with different plaintexts must not
+    /// reuse a GCM nonce under the (fixed) sealing key, or the keystream
+    /// XOR of the two plaintexts leaks. The nonce is the full 96-bit
+    /// prefix of `H(label ∥ counter)`, so distinct `(label, counter)`
+    /// pairs collide with probability 2⁻⁹⁶ even across labels. The counter
+    /// is prepended to the sealed blob so [`Enclave::unseal`] can
+    /// reconstruct the nonce; it is covered by the AEAD's nonce binding (a
+    /// tampered counter changes the nonce and fails the tag).
+    ///
+    /// Counters live in enclave memory: a relaunched enclave with the same
+    /// platform seed restarts them, as a real SGX enclave's would without
+    /// hardware monotonic counters. [`Enclave::unseal`] raises the floor
+    /// past every counter it sees, so the supported restart flow — unseal
+    /// persisted state, then reseal — never reuses a nonce; a deployment
+    /// would pin the floor in rollback-protected storage.
+    pub fn seal(&mut self, plaintext: &[u8], label: &[u8]) -> Vec<u8> {
+        let counter = self.seal_counters.entry(label.to_vec()).or_insert(0);
+        *counter += 1;
+        let nonce = seal_nonce(label, *counter);
+        let gcm = self.engine.aes_gcm(&self.sealing_key).expect("32-byte key");
+        let mut out = Vec::with_capacity(8 + plaintext.len() + 16);
+        out.extend_from_slice(&counter.to_be_bytes());
+        out.extend_from_slice(&gcm.seal(&nonce, plaintext, label));
+        out
     }
 
-    /// Decrypts sealed state.
-    pub fn unseal(&self, sealed: &[u8], label: &[u8]) -> Result<Vec<u8>, TeeError> {
-        let gcm = AesGcm::new(&self.sealing_key).expect("32-byte key");
-        let mut nonce = [0u8; NONCE_LEN];
-        let lh = crate::attestation::digest(label);
-        nonce.copy_from_slice(&lh[..NONCE_LEN]);
-        gcm.open(&nonce, sealed, label).map_err(|_| TeeError::AuthFailure)
+    /// Decrypts sealed state. On success the label's seal counter floor is
+    /// raised past the blob's counter, so a relaunched enclave that
+    /// restores its state before sealing again cannot reuse a nonce.
+    pub fn unseal(&mut self, sealed: &[u8], label: &[u8]) -> Result<Vec<u8>, TeeError> {
+        if sealed.len() < 8 {
+            return Err(TeeError::AuthFailure);
+        }
+        let (counter_bytes, ciphertext) = sealed.split_at(8);
+        let counter = u64::from_be_bytes(counter_bytes.try_into().expect("8-byte prefix"));
+        let nonce = seal_nonce(label, counter);
+        let gcm = self.engine.aes_gcm(&self.sealing_key).expect("32-byte key");
+        let plain = gcm.open(&nonce, ciphertext, label).map_err(|_| TeeError::AuthFailure)?;
+        let floor = self.seal_counters.entry(label.to_vec()).or_insert(0);
+        *floor = (*floor).max(counter);
+        Ok(plain)
     }
 
     /// Signs bytes with a key only the enclave holds, so clients can verify
     /// the aggregated model was produced inside the enclave (the
     /// malicious-server defense discussed in Section 5.6).
     pub fn sign_output(&self, payload: &[u8]) -> [u8; 32] {
-        olive_crypto::hmac::HmacSha256::mac(&self.sealing_key, payload)
+        self.engine.mac(&self.sealing_key, payload)
     }
 
     /// Verifies an output signature (in the simulation the "public" verify
     /// key equals the sealing MAC key; a deployment would use the Schnorr
     /// pair — see Section 5.6 discussion).
     pub fn verify_output(&self, payload: &[u8], tag: &[u8; 32]) -> bool {
-        olive_crypto::hmac::HmacSha256::verify(&self.sealing_key, payload, tag)
+        self.engine.verify_mac(&self.sealing_key, payload, tag)
     }
+}
+
+/// Sealing nonce: the 96-bit prefix of `H("olive-seal-nonce-v1" ∥
+/// len(label) ∥ label ∥ counter)` — the full nonce width separates both
+/// labels and counters, so distinct `(label, counter)` pairs collide with
+/// probability 2⁻⁹⁶ (length-prefixing keeps `(label ∥ counter)` encodings
+/// injective).
+fn seal_nonce(label: &[u8], counter: u64) -> [u8; NONCE_LEN] {
+    let mut input = b"olive-seal-nonce-v1".to_vec();
+    input.extend_from_slice(&(label.len() as u64).to_be_bytes());
+    input.extend_from_slice(label);
+    input.extend_from_slice(&counter.to_be_bytes());
+    let lh = crate::attestation::digest(&input);
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce.copy_from_slice(&lh[..NONCE_LEN]);
+    nonce
 }
 
 /// Session-key derivation info string, shared by enclave and client.
@@ -280,7 +344,7 @@ mod tests {
 
     #[test]
     fn seal_unseal_roundtrip() {
-        let e = Enclave::launch(&EnclaveConfig::default(), [3; 32]);
+        let mut e = Enclave::launch(&EnclaveConfig::default(), [3; 32]);
         let sealed = e.seal(b"keystore state", b"keystore");
         assert_eq!(e.unseal(&sealed, b"keystore").unwrap(), b"keystore state");
         assert_eq!(e.unseal(&sealed, b"other-label").unwrap_err(), TeeError::AuthFailure);
@@ -288,10 +352,60 @@ mod tests {
 
     #[test]
     fn sealed_data_bound_to_enclave_identity() {
-        let e1 = Enclave::launch(&EnclaveConfig::default(), [3; 32]);
-        let e2 = Enclave::launch(&EnclaveConfig::default(), [4; 32]);
+        let mut e1 = Enclave::launch(&EnclaveConfig::default(), [3; 32]);
+        let mut e2 = Enclave::launch(&EnclaveConfig::default(), [4; 32]);
         let sealed = e1.seal(b"state", b"l");
         assert!(e2.unseal(&sealed, b"l").is_err(), "different platform seed, different key");
+    }
+
+    /// The supported restart flow — relaunch, unseal persisted state,
+    /// reseal — must advance the counter past everything unsealed, never
+    /// reusing a nonce of the previous lifetime.
+    #[test]
+    fn unseal_restores_counter_monotonicity_across_relaunch() {
+        let mut e1 = Enclave::launch(&EnclaveConfig::default(), [3; 32]);
+        let _gen1 = e1.seal(b"generation-1", b"model");
+        let gen2 = e1.seal(b"generation-2", b"model");
+        // Same platform seed → same sealing key, fresh in-memory counters.
+        let mut e2 = Enclave::launch(&EnclaveConfig::default(), [3; 32]);
+        assert_eq!(e2.unseal(&gen2, b"model").unwrap(), b"generation-2");
+        let gen3 = e2.seal(b"generation-3", b"model");
+        assert_eq!(&gen3[..8], &3u64.to_be_bytes(), "floor raised past unsealed counter 2");
+        assert_eq!(e2.unseal(&gen3, b"model").unwrap(), b"generation-3");
+    }
+
+    /// Regression for the sealing-nonce reuse hazard: two seals of one
+    /// label must use distinct nonces — observable as distinct counter
+    /// prefixes and, crucially, ciphertexts whose keystreams don't cancel.
+    #[test]
+    fn reseal_same_label_uses_fresh_nonce() {
+        let mut e = Enclave::launch(&EnclaveConfig::default(), [3; 32]);
+        let s1 = e.seal(b"generation-1 state", b"model");
+        let s2 = e.seal(b"generation-2 state", b"model");
+        // Distinct monotonic counters → distinct nonces.
+        assert_eq!(&s1[..8], &1u64.to_be_bytes());
+        assert_eq!(&s2[..8], &2u64.to_be_bytes());
+        assert_ne!(s1[8..], s2[8..], "same-label seals must not share ciphertext bytes");
+        // With a reused nonce, xor of ciphertexts == xor of plaintexts for
+        // the common prefix; with fresh nonces it must not be.
+        let xor_ct: Vec<u8> = s1[8..26].iter().zip(&s2[8..26]).map(|(a, b)| a ^ b).collect();
+        let xor_pt: Vec<u8> =
+            b"generation-1 state".iter().zip(b"generation-2 state").map(|(a, b)| a ^ b).collect();
+        assert_ne!(xor_ct, xor_pt, "keystream reuse detected");
+        // Both generations remain unsealable.
+        assert_eq!(e.unseal(&s1, b"model").unwrap(), b"generation-1 state");
+        assert_eq!(e.unseal(&s2, b"model").unwrap(), b"generation-2 state");
+    }
+
+    /// A tampered counter prefix changes the reconstructed nonce and must
+    /// fail authentication.
+    #[test]
+    fn tampered_seal_counter_rejected() {
+        let mut e = Enclave::launch(&EnclaveConfig::default(), [3; 32]);
+        let mut sealed = e.seal(b"state", b"l");
+        sealed[7] ^= 1;
+        assert_eq!(e.unseal(&sealed, b"l").unwrap_err(), TeeError::AuthFailure);
+        assert_eq!(e.unseal(&sealed[..4], b"l").unwrap_err(), TeeError::AuthFailure);
     }
 
     #[test]
