@@ -1,0 +1,105 @@
+//! Round-ingestion bench: streaming vs materialize-all, batched vs
+//! serial `open_upload`, at n ∈ {1k, 10k, 100k} clients.
+//!
+//! Each iteration is one full round of enclave-side upload processing —
+//! seal (client side, unavoidable: GCM nonces are single-use), open,
+//! decode, fold — with k = 128 cells per client and d = 16384, so at
+//! n = 100k the materialize-all pipeline stages n·k·8 ≈ 102 MiB of cells
+//! inside the enclave: **over the 96 MiB EPC budget**, while the
+//! streaming pipeline peaks at O(chunk·k + d) ≈ a quarter MiB. The
+//! working-set report below makes that machine-readable.
+//!
+//! Before timing, each configuration runs once under [`WorkingSet`]
+//! accounting (charged exactly as `OliveSystem::run_round` charges the
+//! EPC budget) and prints one line per config:
+//!
+//! ```text
+//! ingestion_ws: {"config":"streaming_batch","n":100000,...,"peak_bytes":...,"would_page":false}
+//! ```
+//!
+//! `OLIVE_BENCH_FULL=1` includes n = 100k; the default sweep stops at
+//! 10k so the CI smoke job stays fast. Timings land in `OLIVE_BENCH_JSON`
+//! like every other bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olive_bench::ingest::IngestionRig;
+use olive_core::aggregation::AggregatorKind;
+use olive_memsim::WorkingSet;
+use std::cell::RefCell;
+
+const K: usize = 128;
+const D: usize = 16_384;
+const CHUNK: usize = 256;
+
+fn ws_report(rig: &mut IngestionRig, config: &str, chunk: Option<usize>) {
+    let kind = AggregatorKind::NonOblivious;
+    let msgs = rig.seal_round();
+    let mut ws = WorkingSet::default();
+    match chunk {
+        Some(c) => {
+            rig.streaming_pass(&msgs, kind, c, true, Some(&mut ws));
+        }
+        None => {
+            rig.materialize_pass(&msgs, kind, true, Some(&mut ws));
+        }
+    }
+    let limit = rig.epc_limit();
+    println!(
+        "ingestion_ws: {{\"config\":\"{config}\",\"n\":{},\"k\":{K},\"d\":{D},\"chunk\":{},\
+         \"peak_bytes\":{},\"epc_limit\":{limit},\"would_page\":{}}}",
+        rig.n(),
+        chunk.map_or_else(|| rig.n().to_string(), |c| c.to_string()),
+        ws.peak,
+        ws.peak > limit,
+    );
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let full = std::env::var("OLIVE_BENCH_FULL").is_ok();
+    let sizes: &[usize] = if full { &[1_000, 10_000, 100_000] } else { &[1_000, 10_000] };
+    if !full {
+        println!("ingestion: n = 100000 skipped (set OLIVE_BENCH_FULL=1 to include it)");
+    }
+    let mut group = c.benchmark_group("round_ingestion");
+    group.sample_size(10);
+    for &n in sizes {
+        let rig = RefCell::new(IngestionRig::new(n, K, D, 42));
+        // The memory story, printed once per configuration before timing.
+        ws_report(&mut rig.borrow_mut(), "streaming_batch", Some(CHUNK));
+        ws_report(&mut rig.borrow_mut(), "materialize_all", None);
+
+        let kind = AggregatorKind::NonOblivious;
+        group.bench_with_input(BenchmarkId::new("streaming_batch", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rig = rig.borrow_mut();
+                let msgs = rig.seal_round();
+                rig.streaming_pass(&msgs, kind, CHUNK, true, None)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("streaming_serial", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rig = rig.borrow_mut();
+                let msgs = rig.seal_round();
+                rig.streaming_pass(&msgs, kind, CHUNK, false, None)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("materialize_batch", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rig = rig.borrow_mut();
+                let msgs = rig.seal_round();
+                rig.materialize_pass(&msgs, kind, true, None)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("materialize_serial", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rig = rig.borrow_mut();
+                let msgs = rig.seal_round();
+                rig.materialize_pass(&msgs, kind, false, None)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion);
+criterion_main!(benches);

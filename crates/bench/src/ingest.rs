@@ -1,0 +1,205 @@
+//! Round-ingestion rig: drives the enclave upload path (seal → open →
+//! decode → fold) at production client counts without the FL training
+//! loop, for the `ingestion` bench and its EPC working-set report.
+//!
+//! Two pipelines are compared:
+//!
+//! * **streaming** — the PR-5 round pipeline: uploads are opened in
+//!   chunks ([`Enclave::open_upload_batch`]) and folded through the
+//!   [`StreamingAggregator`]; the enclave holds O(chunk·k) staged cells;
+//! * **materialize-all** — the historical shape: every upload is opened
+//!   and decoded into a `Vec<SparseGradient>` (O(n·k) enclave bytes)
+//!   before a single one-shot aggregation.
+//!
+//! Both run with batched or per-message (`serial`) opening, isolating the
+//! `open_upload_batch` amortization from the memory story. The aggregator
+//! is `NonOblivious` (the O(nk) linear fold) so the timings measure
+//! *ingestion* — session lookup, AEAD verification, decode, fold — rather
+//! than oblivious-sort cost, which the `aggregation`/`grouping` benches
+//! already cover.
+
+use olive_core::aggregation::{Aggregator, AggregatorKind, StreamingAggregator};
+use olive_core::olive::{open_and_decode, staged_chunk_bytes};
+use olive_fl::SparseGradient;
+use olive_memsim::{NullTracer, WorkingSet};
+use olive_tee::{AttestationService, ClientSession, Enclave, EnclaveConfig, SealedMessage};
+
+/// A provisioned enclave + n attested client sessions + fixed payloads.
+pub struct IngestionRig {
+    enclave: Enclave,
+    sessions: Vec<ClientSession>,
+    users: Vec<u32>,
+    payloads: Vec<Vec<u8>>,
+    round: u64,
+    /// Model dimension.
+    pub d: usize,
+    /// Transmitted cells per client.
+    pub k: usize,
+}
+
+impl IngestionRig {
+    /// Provisions `n` clients with `k`-sparse uploads over dimension `d`
+    /// (the same attestation handshake `OliveSystem::new` performs).
+    pub fn new(n: usize, k: usize, d: usize, seed: u64) -> Self {
+        let mut seed_bytes = [0u8; 32];
+        seed_bytes[..8].copy_from_slice(&seed.to_be_bytes());
+        let service = AttestationService::new(seed_bytes);
+        let mut enclave = Enclave::launch(&EnclaveConfig::default(), seed_bytes);
+        let quote = enclave.attest(&service, b"olive-ingestion-bench");
+        let measurement = enclave.measurement();
+        let users: Vec<u32> = (0..n as u32).collect();
+        let sessions: Vec<ClientSession> = users
+            .iter()
+            .map(|&u| {
+                let mut cs = seed_bytes;
+                cs[24..28].copy_from_slice(&u.to_be_bytes());
+                cs[28] ^= 0xC1;
+                let session =
+                    ClientSession::establish(u, service.public_key(), &measurement, &quote, cs)
+                        .expect("attestation must succeed in the rig");
+                enclave.register_client(u, session.dh_public());
+                session
+            })
+            .collect();
+        let payloads: Vec<Vec<u8>> = crate::synthetic_updates(n, k, d, seed ^ 0xBEEF)
+            .iter()
+            .map(SparseGradient::encode)
+            .collect();
+        IngestionRig { enclave, sessions, users, payloads, round: 0, d, k }
+    }
+
+    /// Clients provisioned.
+    pub fn n(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Starts a fresh round and seals every client's upload (client-side
+    /// work, but part of each timed pass: GCM nonces are single-use, so a
+    /// new round needs new ciphertexts).
+    pub fn seal_round(&mut self) -> Vec<SealedMessage> {
+        self.round += 1;
+        self.enclave.begin_round(self.round, self.users.clone());
+        let round = self.round;
+        self.sessions
+            .iter_mut()
+            .zip(self.payloads.iter())
+            .map(|(s, p)| s.seal_upload(round, p))
+            .collect()
+    }
+
+    /// The enclave's configured EPC limit (bytes).
+    pub fn epc_limit(&self) -> u64 {
+        self.enclave.epc.limit
+    }
+
+    /// Streaming pipeline: open (batched or serial) and fold chunk by
+    /// chunk. When `ws` is given, every enclave allocation is charged to
+    /// it exactly as `OliveSystem::run_round` charges the EPC budget.
+    pub fn streaming_pass(
+        &mut self,
+        msgs: &[SealedMessage],
+        kind: AggregatorKind,
+        chunk: usize,
+        batch_open: bool,
+        mut ws: Option<&mut WorkingSet>,
+    ) -> Vec<f32> {
+        let mut agg = StreamingAggregator::new(kind, self.d, 1);
+        let mut resident = agg.resident_bytes();
+        if let Some(ws) = ws.as_deref_mut() {
+            ws.alloc(resident);
+        }
+        for msg_chunk in msgs.chunks(chunk) {
+            let staged_bytes = staged_chunk_bytes(msg_chunk);
+            let scratch = agg.ingest_scratch_bytes(msg_chunk.len(), self.k);
+            if let Some(ws) = ws.as_deref_mut() {
+                ws.alloc(staged_bytes + scratch);
+            }
+            let staged = self.open_chunk(msg_chunk, batch_open);
+            agg.ingest(&staged, &mut NullTracer);
+            if let Some(ws) = ws.as_deref_mut() {
+                ws.free(staged_bytes + scratch);
+                let now = agg.resident_bytes();
+                ws.resize(resident, now);
+                resident = now;
+            }
+        }
+        if let Some(ws) = ws {
+            ws.alloc(agg.finalize_scratch_bytes());
+        }
+        agg.finalize(&mut NullTracer)
+    }
+
+    /// Materialize-all pipeline: decode the entire round into enclave
+    /// memory, then aggregate once (the pre-streaming round shape).
+    pub fn materialize_pass(
+        &mut self,
+        msgs: &[SealedMessage],
+        kind: AggregatorKind,
+        batch_open: bool,
+        mut ws: Option<&mut WorkingSet>,
+    ) -> Vec<f32> {
+        let staged_bytes = staged_chunk_bytes(msgs);
+        let updates = self.open_chunk(msgs, batch_open);
+        let mut agg = StreamingAggregator::new(kind, self.d, 1);
+        if let Some(ws) = ws.as_deref_mut() {
+            ws.alloc(staged_bytes);
+            ws.alloc(agg.resident_bytes() + agg.ingest_scratch_bytes(updates.len(), self.k));
+        }
+        agg.ingest(&updates, &mut NullTracer);
+        if let Some(ws) = ws {
+            ws.alloc(agg.finalize_scratch_bytes());
+        }
+        agg.finalize(&mut NullTracer)
+    }
+
+    fn open_chunk(&mut self, msgs: &[SealedMessage], batch_open: bool) -> Vec<SparseGradient> {
+        if batch_open {
+            open_and_decode(&mut self.enclave, msgs)
+        } else {
+            msgs.iter()
+                .map(|m| {
+                    let plain = self.enclave.open_upload(m).expect("rig uploads must verify");
+                    SparseGradient::decode(&plain).expect("well-formed encoding")
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_and_materialize_agree_and_ws_separates() {
+        let mut rig = IngestionRig::new(40, 8, 256, 3);
+        let kind = AggregatorKind::NonOblivious;
+        let msgs = rig.seal_round();
+        let mut ws_stream = WorkingSet::default();
+        let a = rig.streaming_pass(&msgs, kind, 4, true, Some(&mut ws_stream));
+        let msgs = rig.seal_round();
+        let mut ws_mat = WorkingSet::default();
+        let b = rig.materialize_pass(&msgs, kind, true, Some(&mut ws_mat));
+        assert_eq!(a.len(), 256);
+        let same = a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "pipelines must agree bitwise");
+        assert!(
+            ws_stream.peak < ws_mat.peak,
+            "streaming peak {} must undercut materialize-all peak {}",
+            ws_stream.peak,
+            ws_mat.peak
+        );
+    }
+
+    #[test]
+    fn serial_and_batch_open_agree() {
+        let mut rig = IngestionRig::new(10, 4, 64, 9);
+        let kind = AggregatorKind::NonOblivious;
+        let msgs = rig.seal_round();
+        let a = rig.streaming_pass(&msgs, kind, 3, true, None);
+        let msgs = rig.seal_round();
+        let b = rig.streaming_pass(&msgs, kind, 3, false, None);
+        let same = a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same);
+    }
+}

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 
 pub mod attack_exp;
+pub mod ingest;
 pub mod perf;
 pub mod table;
 

@@ -135,6 +135,66 @@ pub fn aggregate_advanced_with_threads<TR: Tracer>(
     gstar.into_inner()
 }
 
+/// Streaming form of [`aggregate_advanced_with_threads`].
+///
+/// Algorithm 4 is *inherently monolithic*: its obliviousness proof rests
+/// on one Batcher sort over the whole `nk + d` vector, so incoming chunks
+/// can only be **staged** (an untraced linear copy, exactly like the
+/// one-shot path's `concat_cells`) and the sort/fold/sort runs at
+/// [`AdvancedStreamer::finalize`]. Chunk boundaries therefore change
+/// neither the output bits nor the trace — but the enclave working set
+/// still grows with O(nk + d), which is exactly the paper's Figure 10
+/// cliff and the reason the Grouped streamer exists. The EPC accounting
+/// reports this honestly via [`AdvancedStreamer::resident_bytes`].
+pub struct AdvancedStreamer {
+    cells: Vec<u64>,
+    d: usize,
+    threads: usize,
+    n: usize,
+}
+
+impl AdvancedStreamer {
+    /// Fresh streamer over dimension `d`.
+    pub fn init(d: usize, threads: usize) -> Self {
+        AdvancedStreamer { cells: Vec::new(), d, threads, n: 0 }
+    }
+
+    /// Stages one chunk of client updates (cells buffered until finalize).
+    pub fn ingest(&mut self, chunk: &[olive_fl::SparseGradient]) {
+        for u in chunk {
+            assert_eq!(u.dense_dim, self.d, "update dimension mismatch");
+            self.n += 1;
+            for (&i, &v) in u.indices.iter().zip(u.values.iter()) {
+                self.cells.push(make_cell(i, v));
+            }
+        }
+    }
+
+    /// Runs Algorithm 4 over everything staged and returns the averaged
+    /// dense update.
+    pub fn finalize<TR: Tracer>(self, tr: &mut TR) -> Vec<f32> {
+        assert!(self.n > 0, "no updates to aggregate");
+        aggregate_advanced_with_threads(&self.cells, self.d, self.n, self.threads, tr)
+    }
+
+    /// Clients staged so far.
+    pub fn clients(&self) -> usize {
+        self.n
+    }
+
+    /// Persistent enclave bytes: the staged cell buffer (grows with the
+    /// round — the O(nk) this algorithm cannot avoid).
+    pub fn resident_bytes(&self) -> u64 {
+        self.cells.len() as u64 * 8
+    }
+
+    /// Transient bytes finalize will allocate: the padded sort vector plus
+    /// the dense output.
+    pub fn finalize_scratch_bytes(&self) -> u64 {
+        next_pow2(self.cells.len() + self.d) as u64 * 8 + self.d as u64 * 4
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,10 +17,11 @@
 //! serial read/write sequence), decoupled from the physical data movement,
 //! so output **and trace** are invariant across thread counts.
 
+use olive_fl::SparseGradient;
 use olive_memsim::{Op, Tracer, TrackedBuf};
 use olive_oblivious::o_select;
 
-use crate::cell::{cell_index, cell_value};
+use crate::cell::{cell_index, cell_value, concat_cells};
 use crate::parallel::default_threads;
 use crate::regions::{REGION_G, REGION_G_STAR};
 
@@ -50,6 +51,9 @@ pub fn aggregate_baseline<TR: Tracer>(
 /// thread count produces the bitwise-identical output (each `G*` slot is
 /// owned by exactly one worker, which applies cells in order) and the
 /// byte-identical trace (emitted canonically before the data movement).
+///
+/// Implemented as the single-chunk case of [`BaselineStreamer`], so the
+/// one-shot and streaming paths cannot drift.
 pub fn aggregate_baseline_with_threads<TR: Tracer>(
     cells: &[u64],
     d: usize,
@@ -58,48 +62,9 @@ pub fn aggregate_baseline_with_threads<TR: Tracer>(
     threads: usize,
     tr: &mut TR,
 ) -> Vec<f32> {
-    assert!(cacheline_weights >= 1, "c must be at least 1");
-    let c = cacheline_weights;
-    // Pad G* to a multiple of c so every stripe has the same length —
-    // otherwise the stripe length would leak `index mod c`.
-    let padded = d.div_ceil(c) * c;
-    let slots = (padded / c) as u64;
-    let mut gstar = TrackedBuf::<f32>::zeroed(REGION_G_STAR, padded);
-
-    // Canonical trace: one G read then one full stripe sweep per cell —
-    // exactly the serial access sequence, a function of the cells and the
-    // shape only, independent of how the data movement is scheduled.
-    for (i, &cell) in cells.iter().enumerate() {
-        tr.touch(REGION_G, (i * CELL_BYTES) as u64, CELL_BYTES as u32, Op::Read);
-        let idx = cell_index(cell) as usize;
-        debug_assert!(idx < d, "cell index out of range");
-        tr.touch_rw_stripe(REGION_G_STAR, WEIGHT_BYTES as u32, (idx % c) as u64, c as u64, slots);
-    }
-
-    let workers = if threads <= 1 { 1 } else { threads.min(padded) };
-    let data = gstar.as_mut_slice_untraced();
-    if workers == 1 {
-        scan_cells(cells, d, c, data, 0);
-    } else {
-        // Contiguous disjoint G* ranges; each worker applies every cell to
-        // its own range, preserving the serial per-slot accumulation order.
-        std::thread::scope(|scope| {
-            let mut rest = data;
-            let mut lo = 0usize;
-            for w in 0..workers {
-                let hi = padded * (w + 1) / workers;
-                let (chunk, tail) = rest.split_at_mut(hi - lo);
-                rest = tail;
-                scope.spawn(move || scan_cells(cells, d, c, chunk, lo));
-                lo = hi;
-            }
-        });
-    }
-
-    average_in_place(&mut gstar, n, tr);
-    let mut out = gstar.into_inner();
-    out.truncate(d);
-    out
+    let mut streamer = BaselineStreamer::init(d, cacheline_weights, threads);
+    streamer.ingest_cells(cells, n, tr);
+    streamer.finalize(tr)
 }
 
 /// Applies every cell's stripe update to the `G*` range
@@ -119,6 +84,116 @@ fn scan_cells(cells: &[u64], d: usize, c: usize, chunk: &mut [f32], base: usize)
             chunk[j - base] = o_select(j == idx, cur + val, cur);
             j += c;
         }
+    }
+}
+
+/// Streaming form of [`aggregate_baseline_with_threads`]: the padded `G*`
+/// buffer persists across chunks; each chunk's cells are traced (the
+/// canonical per-cell `G` read + stripe sweep, with global `G` offsets
+/// continuing across chunks) and then physically applied with the same
+/// fixed worker split. The unit of work is one cell, so chunk boundaries
+/// change neither the output bits nor the trace.
+pub struct BaselineStreamer {
+    gstar: TrackedBuf<f32>,
+    d: usize,
+    c: usize,
+    padded: usize,
+    threads: usize,
+    /// Global position in the round's logical `G` buffer (cells).
+    next_cell: usize,
+    n: usize,
+}
+
+impl BaselineStreamer {
+    /// Fresh streamer over dimension `d` with `cacheline_weights = c`.
+    pub fn init(d: usize, cacheline_weights: usize, threads: usize) -> Self {
+        assert!(cacheline_weights >= 1, "c must be at least 1");
+        let c = cacheline_weights;
+        // Pad G* to a multiple of c so every stripe has the same length —
+        // otherwise the stripe length would leak `index mod c`.
+        let padded = d.div_ceil(c) * c;
+        BaselineStreamer {
+            gstar: TrackedBuf::zeroed(REGION_G_STAR, padded),
+            d,
+            c,
+            padded,
+            threads,
+            next_cell: 0,
+            n: 0,
+        }
+    }
+
+    /// Folds one chunk of client updates into the accumulator.
+    pub fn ingest<TR: Tracer>(&mut self, chunk: &[SparseGradient], tr: &mut TR) {
+        for u in chunk {
+            assert_eq!(u.dense_dim, self.d, "update dimension mismatch");
+        }
+        let cells = concat_cells(chunk);
+        self.ingest_cells(&cells, chunk.len(), tr);
+    }
+
+    /// Cell-level fold shared by the trait path and the one-shot API:
+    /// `cells` is `clients` clients' worth of concatenated `G` cells.
+    /// Emits the canonical trace (one `G` read at the *global* running
+    /// offset + one full stripe sweep per cell — exactly the serial
+    /// access sequence, independent of how the data movement is
+    /// scheduled), then applies the cells with the fixed worker split.
+    pub(crate) fn ingest_cells<TR: Tracer>(&mut self, cells: &[u64], clients: usize, tr: &mut TR) {
+        self.n += clients;
+        let slots = (self.padded / self.c) as u64;
+        for &cell in cells {
+            tr.touch(REGION_G, (self.next_cell * CELL_BYTES) as u64, CELL_BYTES as u32, Op::Read);
+            self.next_cell += 1;
+            let idx = cell_index(cell) as usize;
+            debug_assert!(idx < self.d, "cell index out of range");
+            tr.touch_rw_stripe(
+                REGION_G_STAR,
+                WEIGHT_BYTES as u32,
+                (idx % self.c) as u64,
+                self.c as u64,
+                slots,
+            );
+        }
+        let workers = if self.threads <= 1 { 1 } else { self.threads.min(self.padded) };
+        let (d, c, padded) = (self.d, self.c, self.padded);
+        let data = self.gstar.as_mut_slice_untraced();
+        if workers == 1 {
+            scan_cells(cells, d, c, data, 0);
+        } else {
+            // Contiguous disjoint G* ranges; each worker applies every
+            // cell to its own range, preserving the serial per-slot
+            // accumulation order.
+            std::thread::scope(|scope| {
+                let mut rest = data;
+                let mut lo = 0usize;
+                for w in 0..workers {
+                    let hi = padded * (w + 1) / workers;
+                    let (chunk_slice, tail) = rest.split_at_mut(hi - lo);
+                    rest = tail;
+                    scope.spawn(move || scan_cells(cells, d, c, chunk_slice, lo));
+                    lo = hi;
+                }
+            });
+        }
+    }
+
+    /// Averages and returns the dense update (truncated back to `d`).
+    pub fn finalize<TR: Tracer>(mut self, tr: &mut TR) -> Vec<f32> {
+        assert!(self.n > 0, "no updates to aggregate");
+        average_in_place(&mut self.gstar, self.n, tr);
+        let mut out = self.gstar.into_inner();
+        out.truncate(self.d);
+        out
+    }
+
+    /// Clients folded in so far.
+    pub fn clients(&self) -> usize {
+        self.n
+    }
+
+    /// Persistent enclave bytes: the padded dense accumulator.
+    pub fn resident_bytes(&self) -> u64 {
+        self.padded as u64 * WEIGHT_BYTES as u64
     }
 }
 

@@ -100,6 +100,81 @@ pub fn expected_padding(d: usize, k: usize, epsilon: f64, delta: f64) -> f64 {
     d as f64 * (k as f64 / epsilon) * (1.0 / (2.0 * delta)).ln()
 }
 
+/// Streaming form of [`aggregate_dobliv`].
+///
+/// The DO guarantee is over the *round's* access histogram: the padded
+/// dummies and the oblivious shuffle must cover all n clients' cells at
+/// once, or the per-index Laplace shift would be paid once per chunk and
+/// the padding volume would blow up by n/chunk. So, like the Advanced
+/// streamer, chunks are **staged** (untraced linear copy, exactly what
+/// the one-shot path's `concat_cells` does) and the pad/shuffle/scan runs
+/// at finalize — chunk boundaries change neither the output bits nor the
+/// trace, and the O(nk + padding) working set is reported honestly by
+/// [`DoblivStreamer::resident_bytes`].
+pub struct DoblivStreamer {
+    cells: Vec<u64>,
+    d: usize,
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+    threads: usize,
+    n: usize,
+}
+
+impl DoblivStreamer {
+    /// Fresh streamer over dimension `d` with the access-histogram DP
+    /// budget `(epsilon, delta)` and the padding/shuffle `seed`.
+    pub fn init(d: usize, epsilon: f64, delta: f64, seed: u64, threads: usize) -> Self {
+        assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+        DoblivStreamer { cells: Vec::new(), d, epsilon, delta, seed, threads, n: 0 }
+    }
+
+    /// Stages one chunk of client updates (cells buffered until finalize).
+    pub fn ingest(&mut self, chunk: &[olive_fl::SparseGradient]) {
+        for u in chunk {
+            assert_eq!(u.dense_dim, self.d, "update dimension mismatch");
+            self.n += 1;
+            for (&i, &v) in u.indices.iter().zip(u.values.iter()) {
+                self.cells.push(make_cell(i, v));
+            }
+        }
+    }
+
+    /// Pads, shuffles, scans and averages everything staged.
+    pub fn finalize<TR: Tracer>(self, tr: &mut TR) -> Vec<f32> {
+        assert!(self.n > 0, "no updates to aggregate");
+        aggregate_dobliv_with_threads(
+            &self.cells,
+            self.d,
+            self.n,
+            self.epsilon,
+            self.delta,
+            self.seed,
+            self.threads,
+            tr,
+        )
+    }
+
+    /// Clients staged so far.
+    pub fn clients(&self) -> usize {
+        self.n
+    }
+
+    /// Persistent enclave bytes: the staged cell buffer.
+    pub fn resident_bytes(&self) -> u64 {
+        self.cells.len() as u64 * 8
+    }
+
+    /// Transient bytes finalize will allocate: the padded + shuffled cell
+    /// vectors (expected volume) plus the dense output.
+    pub fn finalize_scratch_bytes(&self) -> u64 {
+        let k = self.cells.len() / self.n.max(1);
+        let padded =
+            self.cells.len() as f64 + expected_padding(self.d, k, self.epsilon, self.delta);
+        (padded * 2.0 * 8.0) as u64 + self.d as u64 * 4
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -82,60 +82,168 @@ pub fn aggregate_grouped_with_threads<TR: ParallelTracer>(
     threads: usize,
     tr: &mut TR,
 ) -> Vec<f32> {
-    assert!(h >= 1, "group size must be at least 1");
-    assert!(threads >= 1, "thread count must be at least 1");
-    let n = updates.len();
-    // The running total lives in the enclave across groups (Section 5.3
-    // step 3: "record the aggregated value in the enclave, and carry over
-    // the result to the next group").
-    let mut total = TrackedBuf::<f32>::zeroed(REGION_G_STAR, d);
-    if threads == 1 || n <= h {
-        // Serial group schedule: spend the whole thread budget *inside*
-        // each group's sorts instead (the intra-sort stage parallelism of
-        // `olive_oblivious::sort_kernel`) — this is what makes a single
-        // huge group (n <= h) scale. Sort output and trace are
-        // thread-count-invariant, so threads = 1 still reproduces the
-        // serial trace byte-for-byte.
-        for group in updates.chunks(h) {
-            let cells = concat_cells(group);
-            let partial = sum_advanced(&cells, d, threads, tr);
-            carry_into(&partial, &mut total, tr);
-        }
-    } else {
-        // Waves of `threads` consecutive groups: bounds partial-buffer
-        // memory at O(threads·d) and keeps the carry order serial.
-        for wave in updates.chunks(h * threads) {
-            let groups: Vec<&[SparseGradient]> = wave.chunks(h).collect();
-            // A full wave saturates the budget with one thread per group
-            // (intra = 1); a short wave (the tail, or n/h < threads) hands
-            // the leftover budget to each group's intra-sort stages. Safe
-            // because sort output and trace are thread-count-invariant.
-            let intra = (threads / groups.len()).max(1);
-            let mut slots: Vec<Option<(TrackedBuf<f32>, TR::Worker)>> =
-                (0..groups.len()).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                for (slot, group) in slots.iter_mut().zip(groups) {
-                    let mut wtr = tr.fork_worker();
-                    scope.spawn(move || {
-                        let cells = concat_cells(group);
-                        let partial = sum_advanced(&cells, d, intra, &mut wtr);
-                        *slot = Some((partial, wtr));
-                    });
-                }
+    let mut streamer = GroupedStreamer::init(d, h, threads);
+    streamer.ingest(updates, tr);
+    streamer.finalize(tr)
+}
+
+/// Runs one wave of up to `threads` groups on scoped worker threads,
+/// joining traces and folding partials strictly in group order (the
+/// parallel schedule of the one-shot path, shared verbatim by the
+/// streamer).
+fn run_wave<TR: ParallelTracer>(
+    wave: &[SparseGradient],
+    d: usize,
+    h: usize,
+    threads: usize,
+    total: &mut TrackedBuf<f32>,
+    tr: &mut TR,
+) {
+    let groups: Vec<&[SparseGradient]> = wave.chunks(h).collect();
+    // A full wave saturates the budget with one thread per group
+    // (intra = 1); a short wave (the tail, or n/h < threads) hands
+    // the leftover budget to each group's intra-sort stages. Safe
+    // because sort output and trace are thread-count-invariant.
+    let intra = (threads / groups.len()).max(1);
+    let mut slots: Vec<Option<(TrackedBuf<f32>, TR::Worker)>> =
+        (0..groups.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, group) in slots.iter_mut().zip(groups) {
+            let mut wtr = tr.fork_worker();
+            scope.spawn(move || {
+                let cells = concat_cells(group);
+                let partial = sum_advanced(&cells, d, intra, &mut wtr);
+                *slot = Some((partial, wtr));
             });
-            // Join worker traces and fold partials strictly in group
-            // order, regardless of which thread finished first.
-            let (partials, workers): (Vec<_>, Vec<_>) =
-                slots.into_iter().map(|s| s.expect("every group slot filled")).unzip();
-            tr.join_workers(workers);
-            for partial in &partials {
-                carry_into(partial, &mut total, tr);
+        }
+    });
+    // Join worker traces and fold partials strictly in group
+    // order, regardless of which thread finished first.
+    let (partials, workers): (Vec<_>, Vec<_>) =
+        slots.into_iter().map(|s| s.expect("every group slot filled")).unzip();
+    tr.join_workers(workers);
+    for partial in &partials {
+        carry_into(partial, total, tr);
+    }
+}
+
+/// Streaming form of the grouped aggregation — the bounded-EPC workhorse
+/// of the chunked round pipeline.
+///
+/// The running total persists in the enclave; incoming clients buffer
+/// until a full **processing unit** is available — one group of `h`
+/// clients under a serial budget, one wave of `h·threads` clients under a
+/// parallel budget — which then runs through exactly the same code as the
+/// one-shot path ([`run_wave`] / the serial group loop). Because the
+/// processing schedule is a function of the *arrival count* only, chunk
+/// boundaries change neither the output bits nor the trace: streaming at
+/// any chunk size reproduces [`aggregate_grouped_with_threads`]
+/// byte-for-byte. Peak memory is O(h·threads·k) buffered cells +
+/// O(threads·(hk + d)) sort scratch + O(d) for the total — independent of
+/// the round size n.
+pub struct GroupedStreamer {
+    total: TrackedBuf<f32>,
+    pending: Vec<SparseGradient>,
+    d: usize,
+    h: usize,
+    threads: usize,
+    n: usize,
+}
+
+impl GroupedStreamer {
+    /// Fresh streamer over dimension `d` with `h` clients per group.
+    pub fn init(d: usize, h: usize, threads: usize) -> Self {
+        assert!(h >= 1, "group size must be at least 1");
+        assert!(threads >= 1, "thread count must be at least 1");
+        // The running total lives in the enclave across groups (Section
+        // 5.3 step 3: "record the aggregated value in the enclave, and
+        // carry over the result to the next group").
+        GroupedStreamer {
+            total: TrackedBuf::zeroed(REGION_G_STAR, d),
+            pending: Vec::new(),
+            d,
+            h,
+            threads,
+            n: 0,
+        }
+    }
+
+    /// Buffers one chunk of client updates, draining every complete
+    /// processing unit (group or wave) as it fills.
+    pub fn ingest<TR: ParallelTracer>(&mut self, chunk: &[SparseGradient], tr: &mut TR) {
+        for u in chunk {
+            assert_eq!(u.dense_dim, self.d, "update dimension mismatch");
+        }
+        self.n += chunk.len();
+        self.pending.extend_from_slice(chunk);
+        if self.threads == 1 {
+            // Serial group schedule: spend the whole thread budget
+            // *inside* each group's sorts instead (the intra-sort stage
+            // parallelism of `olive_oblivious::sort_kernel`). threads = 1
+            // reproduces the serial trace byte-for-byte.
+            while self.pending.len() >= self.h {
+                let group: Vec<SparseGradient> = self.pending.drain(..self.h).collect();
+                let cells = concat_cells(&group);
+                let partial = sum_advanced(&cells, self.d, 1, tr);
+                carry_into(&partial, &mut self.total, tr);
+            }
+        } else {
+            // Waves of `threads` consecutive groups: bounds partial-buffer
+            // memory at O(threads·d) and keeps the carry order serial. A
+            // partial trailing unit stays pending — only at finalize is
+            // the total count known, and the one-shot path's schedule
+            // (serial if n <= h, a short wave otherwise) depends on it.
+            let wave_len = self.h * self.threads;
+            while self.pending.len() >= wave_len {
+                let wave: Vec<SparseGradient> = self.pending.drain(..wave_len).collect();
+                run_wave(&wave, self.d, self.h, self.threads, &mut self.total, tr);
             }
         }
     }
-    // Step 4: average only once, after the last group.
-    average_in_place(&mut total, n, tr);
-    total.into_inner()
+
+    /// Drains the final partial unit, averages, and returns the dense
+    /// update.
+    pub fn finalize<TR: ParallelTracer>(mut self, tr: &mut TR) -> Vec<f32> {
+        assert!(self.n > 0, "no updates to aggregate");
+        if !self.pending.is_empty() {
+            if self.threads == 1 || self.n <= self.h {
+                // The one-shot serial schedule: every group gets the whole
+                // intra-sort thread budget (what makes a single huge group
+                // n <= h scale).
+                let pending = std::mem::take(&mut self.pending);
+                for group in pending.chunks(self.h) {
+                    let cells = concat_cells(group);
+                    let partial = sum_advanced(&cells, self.d, self.threads, tr);
+                    carry_into(&partial, &mut self.total, tr);
+                }
+            } else {
+                let wave = std::mem::take(&mut self.pending);
+                run_wave(&wave, self.d, self.h, self.threads, &mut self.total, tr);
+            }
+        }
+        // Step 4: average only once, after the last group.
+        average_in_place(&mut self.total, self.n, tr);
+        self.total.into_inner()
+    }
+
+    /// Clients accepted so far.
+    pub fn clients(&self) -> usize {
+        self.n
+    }
+
+    /// Persistent enclave bytes: the running total plus buffered cells.
+    pub fn resident_bytes(&self) -> u64 {
+        let pending_cells: usize = self.pending.iter().map(|u| u.k()).sum();
+        self.d as u64 * 4 + pending_cells as u64 * 8
+    }
+
+    /// Transient bytes one drained wave allocates: per in-flight group,
+    /// the padded sort vector plus its dense partial.
+    pub fn wave_scratch_bytes(&self, k: usize) -> u64 {
+        let group_cells = olive_oblivious::sort::next_pow2(self.h * k + self.d) as u64;
+        let in_flight = if self.threads == 1 { 1 } else { self.threads } as u64;
+        in_flight * (group_cells * 8 + self.d as u64 * 4)
+    }
 }
 
 #[cfg(test)]

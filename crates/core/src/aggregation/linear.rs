@@ -7,7 +7,8 @@
 //! — statistical distance 1, not oblivious (Proposition 3.2). Both are
 //! implemented here; the sparse variant is the attack surface.
 
-use olive_memsim::{Tracer, TrackedBuf};
+use olive_fl::SparseGradient;
+use olive_memsim::{Op, Tracer, TrackedBuf};
 
 use crate::cell::{cell_index, cell_value};
 use crate::regions::{REGION_G, REGION_G_STAR};
@@ -46,23 +47,93 @@ pub fn aggregate_dense_linear<TR: Tracer>(
 
 /// Sparse-gradient aggregation — **the leaky path**. The `G*` accesses
 /// reveal every transmitted index to the trace.
+///
+/// Implemented as the single-chunk case of [`LinearStreamer`], so the
+/// one-shot and streaming paths cannot drift.
 pub fn aggregate_sparse_linear<TR: Tracer>(
     cells: &[u64],
     d: usize,
     n: usize,
     tr: &mut TR,
 ) -> Vec<f32> {
-    let g = TrackedBuf::new(REGION_G, cells.to_vec());
-    let mut gstar = TrackedBuf::<f32>::zeroed(REGION_G_STAR, d);
-    for i in 0..g.len() {
-        let cell = g.read(i, tr);
-        let idx = cell_index(cell) as usize;
-        let val = cell_value(cell);
-        let cur = gstar.read(idx, tr);
-        gstar.write(idx, cur + val, tr);
+    let mut streamer = LinearStreamer::init(d);
+    streamer.ingest_cells(cells, n, tr);
+    streamer.finalize(tr)
+}
+
+/// Streaming form of [`aggregate_sparse_linear`]: the dense accumulator
+/// `G*` persists across chunks and each incoming cell is applied exactly
+/// as the one-shot loop applies it, with the `G` offsets continuing from
+/// the previous chunk. Because the unit of work is a single cell, chunk
+/// boundaries change neither the output bits nor the trace — the one-shot
+/// path *is* the single-chunk special case.
+pub struct LinearStreamer {
+    gstar: TrackedBuf<f32>,
+    /// Global position in the round's logical `G` buffer (cells).
+    next_cell: usize,
+    n: usize,
+    d: usize,
+}
+
+impl LinearStreamer {
+    /// Bytes of one packed `(index, value)` cell in `G`.
+    const CELL_BYTES: usize = core::mem::size_of::<u64>();
+
+    /// Fresh streamer over dimension `d`.
+    pub fn init(d: usize) -> Self {
+        LinearStreamer { gstar: TrackedBuf::zeroed(REGION_G_STAR, d), next_cell: 0, n: 0, d }
     }
-    average_in_place(&mut gstar, n, tr);
-    gstar.into_inner()
+
+    /// Folds one chunk of client updates into the accumulator.
+    pub fn ingest<TR: Tracer>(&mut self, chunk: &[SparseGradient], tr: &mut TR) {
+        for u in chunk {
+            assert_eq!(u.dense_dim, self.d, "update dimension mismatch");
+            self.n += 1;
+            for (&i, &v) in u.indices.iter().zip(u.values.iter()) {
+                self.fold_cell(i as usize, v, tr);
+            }
+        }
+    }
+
+    /// Cell-level fold shared by the trait path and the one-shot API:
+    /// `cells` is `clients` clients' worth of concatenated `G` cells.
+    pub(crate) fn ingest_cells<TR: Tracer>(&mut self, cells: &[u64], clients: usize, tr: &mut TR) {
+        self.n += clients;
+        for &cell in cells {
+            self.fold_cell(cell_index(cell) as usize, cell_value(cell), tr);
+        }
+    }
+
+    /// One cell: a traced `G` read at the global running offset, then the
+    /// secret-indexed `G*` read-modify-write (the Proposition 3.2 leak).
+    fn fold_cell<TR: Tracer>(&mut self, idx: usize, val: f32, tr: &mut TR) {
+        tr.touch(
+            REGION_G,
+            (self.next_cell * Self::CELL_BYTES) as u64,
+            Self::CELL_BYTES as u32,
+            Op::Read,
+        );
+        self.next_cell += 1;
+        let cur = self.gstar.read(idx, tr);
+        self.gstar.write(idx, cur + val, tr);
+    }
+
+    /// Averages and returns the dense update.
+    pub fn finalize<TR: Tracer>(mut self, tr: &mut TR) -> Vec<f32> {
+        assert!(self.n > 0, "no updates to aggregate");
+        average_in_place(&mut self.gstar, self.n, tr);
+        self.gstar.into_inner()
+    }
+
+    /// Clients folded in so far.
+    pub fn clients(&self) -> usize {
+        self.n
+    }
+
+    /// Persistent enclave bytes: the dense accumulator.
+    pub fn resident_bytes(&self) -> u64 {
+        self.d as u64 * 4
+    }
 }
 
 #[cfg(test)]

@@ -16,13 +16,15 @@ pub mod dobliv;
 pub mod grouped;
 pub mod linear;
 pub mod oram;
+pub mod streaming;
 
 use olive_fl::SparseGradient;
 use olive_memsim::ParallelTracer;
 use olive_oram::PosMapKind;
 
-use crate::cell::concat_cells;
 use crate::parallel::default_threads;
+
+pub use streaming::{Aggregator, StreamingAggregator};
 
 /// Which aggregation algorithm the enclave runs (Section 5's lineup).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -84,6 +86,13 @@ pub fn aggregate<TR: ParallelTracer>(
 /// reproduces the exact serial traces of pre-parallel builds (the
 /// sort-kernel trace is thread-count-invariant by construction, so for
 /// Advanced/DiffOblivious every thread count does).
+///
+/// Since the streaming refactor this is a thin wrapper over the
+/// [`Aggregator`] trait — one `ingest` of the whole round followed by
+/// `finalize`. The streaming contract (chunk boundaries are invisible to
+/// output and trace) makes this *definitionally* equal to any chunked
+/// schedule, so figure binaries and tests built on the one-shot API keep
+/// their historical behaviour bit-for-bit.
 pub fn aggregate_with_threads<TR: ParallelTracer>(
     kind: AggregatorKind,
     updates: &[SparseGradient],
@@ -92,35 +101,9 @@ pub fn aggregate_with_threads<TR: ParallelTracer>(
     tr: &mut TR,
 ) -> Vec<f32> {
     assert!(!updates.is_empty(), "no updates to aggregate");
-    for u in updates {
-        assert_eq!(u.dense_dim, d, "update dimension mismatch");
-    }
-    let n = updates.len();
-    match kind {
-        AggregatorKind::NonOblivious => {
-            let cells = concat_cells(updates);
-            linear::aggregate_sparse_linear(&cells, d, n, tr)
-        }
-        AggregatorKind::Baseline { cacheline_weights } => {
-            let cells = concat_cells(updates);
-            baseline::aggregate_baseline_with_threads(&cells, d, n, cacheline_weights, threads, tr)
-        }
-        AggregatorKind::Advanced => {
-            let cells = concat_cells(updates);
-            advanced::aggregate_advanced_with_threads(&cells, d, n, threads, tr)
-        }
-        AggregatorKind::Grouped { h } => {
-            grouped::aggregate_grouped_with_threads(updates, d, h, threads, tr)
-        }
-        AggregatorKind::PathOram { posmap } => {
-            let cells = concat_cells(updates);
-            oram::aggregate_oram(&cells, d, n, posmap, tr)
-        }
-        AggregatorKind::DiffOblivious { epsilon, delta, seed } => {
-            let cells = concat_cells(updates);
-            dobliv::aggregate_dobliv_with_threads(&cells, d, n, epsilon, delta, seed, threads, tr)
-        }
-    }
+    let mut agg = StreamingAggregator::new(kind, d, threads);
+    agg.ingest(updates, tr);
+    agg.finalize(tr)
 }
 
 /// Untraced dense reference sum (ground truth for tests): the exact value

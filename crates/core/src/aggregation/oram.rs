@@ -74,6 +74,83 @@ pub fn aggregate_oram_into<TR: Tracer>(
     gstar.into_inner()
 }
 
+/// Streaming form of [`aggregate_oram`]: the `d`-slot ORAM persists
+/// across chunks and each incoming cell is applied as one oblivious
+/// read-modify-write, with the `G` offsets continuing from the previous
+/// chunk. The unit of work is a single cell and the ORAM's path
+/// randomness is a function of the access *sequence* (fixed construction
+/// seed), so chunk boundaries change neither the output bits nor the
+/// trace.
+pub struct OramStreamer {
+    oram: PathOram<u64>,
+    /// Global position in the round's logical `G` buffer (cells).
+    next_cell: usize,
+    n: usize,
+    d: usize,
+}
+
+impl OramStreamer {
+    /// Bytes of one packed `(index, value)` cell in `G`.
+    const CELL_BYTES: usize = core::mem::size_of::<u64>();
+
+    /// Fresh streamer over dimension `d`.
+    pub fn init(d: usize, posmap: PosMapKind) -> Self {
+        OramStreamer { oram: build_aggregation_oram(d, posmap), next_cell: 0, n: 0, d }
+    }
+
+    /// Folds one chunk of client updates into the ORAM slots.
+    pub fn ingest<TR: Tracer>(&mut self, chunk: &[olive_fl::SparseGradient], tr: &mut TR) {
+        for u in chunk {
+            assert_eq!(u.dense_dim, self.d, "update dimension mismatch");
+            self.n += 1;
+            for (&i, &v) in u.indices.iter().zip(u.values.iter()) {
+                tr.touch(
+                    REGION_G,
+                    (self.next_cell * Self::CELL_BYTES) as u64,
+                    Self::CELL_BYTES as u32,
+                    olive_memsim::Op::Read,
+                );
+                self.next_cell += 1;
+                self.oram.update(
+                    i,
+                    move |old| (f32::from_bits(old as u32) + v).to_bits() as u64,
+                    tr,
+                );
+            }
+        }
+    }
+
+    /// Reads back (and clears) the `d` slots, averages, and returns the
+    /// dense update.
+    pub fn finalize<TR: Tracer>(mut self, tr: &mut TR) -> Vec<f32> {
+        assert!(self.n > 0, "no updates to aggregate");
+        let mut gstar = TrackedBuf::<f32>::zeroed(REGION_G_STAR, self.d);
+        for j in 0..self.d {
+            let bits = self.oram.update(j as u32, |_| 0, tr);
+            gstar.write(j, f32::from_bits(bits as u32), tr);
+        }
+        average_in_place(&mut gstar, self.n, tr);
+        gstar.into_inner()
+    }
+
+    /// Clients folded in so far.
+    pub fn clients(&self) -> usize {
+        self.n
+    }
+
+    /// Persistent enclave bytes: the ORAM tree (2·leaves−1 buckets ×
+    /// Z = 4 slots × 16 B) — the Section 5.5 memory model.
+    pub fn resident_bytes(&self) -> u64 {
+        let leaves = self.d.next_power_of_two().max(2) as u64;
+        (2 * leaves - 1) * 4 * 16
+    }
+
+    /// Transient bytes finalize allocates: the dense read-back buffer.
+    pub fn finalize_scratch_bytes(&self) -> u64 {
+        self.d as u64 * 4
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

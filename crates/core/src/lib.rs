@@ -37,7 +37,9 @@ pub mod olive;
 pub mod parallel;
 pub mod regions;
 
-pub use aggregation::{aggregate, aggregate_with_threads, AggregatorKind};
+pub use aggregation::{
+    aggregate, aggregate_with_threads, Aggregator, AggregatorKind, StreamingAggregator,
+};
 pub use cell::{cell_index, cell_value, make_cell, DUMMY_INDEX};
 pub use olive::{OliveConfig, OliveSystem, RoundReport};
 pub use parallel::default_threads;

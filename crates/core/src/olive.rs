@@ -10,7 +10,12 @@
 //! 4. the enclave verifies membership and authenticity, decrypts
 //!    (lines 8–11), and aggregates **obliviously** (line 12) — under the
 //!    chosen [`AggregatorKind`], with every adversary-visible access
-//!    reported to the caller's [`Tracer`];
+//!    reported to the caller's [`Tracer`]. Since the streaming refactor
+//!    this runs as a *chunked pipeline*: uploads are opened in batches
+//!    ([`Enclave::open_upload_batch`]) and folded incrementally through
+//!    the [`StreamingAggregator`], bounding the enclave working set at
+//!    O(chunk·k + d·threads) and overlapping decryption of chunk i+1
+//!    with aggregation of chunk i;
 //! 5. in DP mode the enclave perturbs the aggregate with Gaussian noise
 //!    calibrated to (σ, C) before it leaves the enclave (Algorithm 6
 //!    line 12), and the RDP accountant tracks the spent budget;
@@ -20,13 +25,13 @@
 use olive_data::ClientData;
 use olive_dp::{GaussianMechanism, RdpAccountant};
 use olive_fl::{local_update, sample_clients, ClientConfig, FedAvgServer, SparseGradient};
-use olive_memsim::ParallelTracer;
+use olive_memsim::{ParallelTracer, WorkingSet};
 use olive_nn::Model;
 use olive_tee::{AttestationService, ClientSession, Enclave, EnclaveConfig, SealedMessage, UserId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::aggregation::{aggregate_with_threads, AggregatorKind};
+use crate::aggregation::{Aggregator, AggregatorKind, StreamingAggregator};
 use crate::parallel::default_threads;
 
 /// Central-DP configuration (Algorithm 6).
@@ -71,9 +76,12 @@ pub struct RoundReport {
     pub k_per_user: usize,
     /// Cumulative (ε, δ)-DP spent, if DP mode is on.
     pub epsilon_spent: Option<f64>,
-    /// Enclave working-set bytes for the aggregation scratch.
+    /// Peak enclave working-set bytes observed during this round's
+    /// chunked ingestion + aggregation (staged chunks, aggregator-resident
+    /// state and transient scratch, charged per chunk).
     pub working_set_bytes: u64,
-    /// Whether that working set exceeds the configured EPC.
+    /// Whether that peak exceeds the enclave's *configured* EPC budget
+    /// (`EnclaveConfig::epc_bytes` — not a hardcoded constant).
     pub would_page: bool,
     /// Enclave signature over the updated global parameters.
     pub model_signature: [u8; 32],
@@ -92,6 +100,29 @@ pub struct OliveSystem {
     round: u64,
     accountant: RdpAccountant,
     threads: Option<usize>,
+    chunk: Option<usize>,
+}
+
+/// Process-default ingestion chunk size: `OLIVE_CHUNK` if set to a
+/// positive integer, else 64 clients per chunk. Read once and cached;
+/// [`OliveSystem::set_chunk`] overrides per system. Any value produces
+/// the identical round output and aggregation trace (the streaming
+/// contract) — the knob trades enclave working set against per-chunk
+/// overhead.
+pub fn default_chunk() -> usize {
+    use std::sync::OnceLock;
+    static CHUNK: OnceLock<usize> = OnceLock::new();
+    *CHUNK.get_or_init(|| {
+        if let Ok(v) = std::env::var("OLIVE_CHUNK") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+            eprintln!("OLIVE_CHUNK={v:?} is not a positive integer; using default");
+        }
+        64
+    })
 }
 
 impl OliveSystem {
@@ -100,11 +131,24 @@ impl OliveSystem {
     /// (Algorithm 1 line 1). Panics if any client rejects the enclave —
     /// in the simulation that indicates a harness bug.
     pub fn new(model: Model, clients: Vec<ClientData>, cfg: OliveConfig) -> Self {
+        Self::with_enclave_config(model, clients, cfg, EnclaveConfig::default())
+    }
+
+    /// [`OliveSystem::new`] with an explicit enclave configuration — how a
+    /// deployment with a different usable-EPC budget (or code identity) is
+    /// provisioned. [`RoundReport::would_page`] compares the observed
+    /// working-set peak against *this* configuration's `epc_bytes`.
+    pub fn with_enclave_config(
+        model: Model,
+        clients: Vec<ClientData>,
+        cfg: OliveConfig,
+        enclave_cfg: EnclaveConfig,
+    ) -> Self {
         assert_eq!(clients.len(), cfg.n_clients, "client shards vs n_clients mismatch");
         let mut seed_bytes = [0u8; 32];
         seed_bytes[..8].copy_from_slice(&cfg.seed.to_be_bytes());
         let service = AttestationService::new(seed_bytes);
-        let mut enclave = Enclave::launch(&EnclaveConfig::default(), seed_bytes);
+        let mut enclave = Enclave::launch(&enclave_cfg, seed_bytes);
         let quote = enclave.attest(&service, b"olive-fl-v1");
         let measurement = enclave.measurement();
         let sessions: Vec<ClientSession> = clients
@@ -139,6 +183,7 @@ impl OliveSystem {
             round: 0,
             accountant: RdpAccountant::new(),
             threads: None,
+            chunk: None,
         }
     }
 
@@ -155,6 +200,22 @@ impl OliveSystem {
     /// or the process default).
     pub fn threads(&self) -> usize {
         self.threads.unwrap_or_else(default_threads)
+    }
+
+    /// Pins the ingestion chunk size (clients opened, decoded and folded
+    /// per step). Unset, the process default applies ([`default_chunk`]:
+    /// `OLIVE_CHUNK` or 64). The chunk size is public and does not affect
+    /// the round output or the aggregation trace — only the enclave's
+    /// peak working set and the open/aggregate overlap granularity.
+    pub fn set_chunk(&mut self, chunk: usize) {
+        assert!(chunk >= 1, "chunk size must be at least 1");
+        self.chunk = Some(chunk);
+    }
+
+    /// The ingestion chunk size rounds will use ([`OliveSystem::set_chunk`]
+    /// or the process default).
+    pub fn chunk(&self) -> usize {
+        self.chunk.unwrap_or_else(default_chunk)
     }
 
     /// The current global parameters θ_t.
@@ -175,11 +236,22 @@ impl OliveSystem {
 
     /// Runs one full round (Algorithm 1 lines 4–14 / Algorithm 6),
     /// reporting the enclave's memory accesses during aggregation to `tr`.
+    ///
+    /// Since the streaming refactor the enclave never materializes the
+    /// whole round: uploads are opened, decoded and folded into the
+    /// [`StreamingAggregator`] in chunks of [`OliveSystem::chunk`]
+    /// clients, the EPC budget is charged per chunk (staged plaintext +
+    /// aggregator-resident state + transient scratch), and — with a
+    /// worker-thread budget ≥ 2 — chunk i+1 is opened/decoded on a spare
+    /// thread while chunk i aggregates. The round output and the
+    /// aggregation trace are bitwise identical at every chunk size (the
+    /// streaming contract), so this changes memory and throughput, never
+    /// results.
     pub fn run_round<TR: ParallelTracer>(&mut self, tr: &mut TR) -> RoundReport {
         let t = self.round;
         // Line 5: secure in-enclave sampling.
         let sampled = sample_clients(self.cfg.n_clients, self.cfg.sample_rate, &mut self.rng);
-        self.enclave.begin_round(sampled.clone());
+        self.enclave.begin_round(t, sampled.clone());
 
         // Lines 7 + 15–23: local training, sparsify, clip, encrypt.
         let global = self.server.params();
@@ -189,30 +261,100 @@ impl OliveSystem {
         }
         let local_results = self.train_sampled(&sampled, &global, &client_cfg, t);
 
-        // Lines 8–11: upload, verify, decrypt inside the enclave.
-        let mut updates: Vec<SparseGradient> = Vec::with_capacity(sampled.len());
-        for (&user, sparse) in sampled.iter().zip(local_results.iter()) {
-            let msg: SealedMessage = self.sessions[user as usize].seal_upload(t, &sparse.encode());
-            let plain = self
-                .enclave
-                .open_upload(&msg)
-                .expect("sampled, registered, fresh uploads must verify");
-            updates.push(SparseGradient::decode(&plain).expect("well-formed client encoding"));
+        // Clients seal their uploads; the ciphertexts sit in *untrusted*
+        // server memory (no EPC pressure) until the enclave pulls them in
+        // chunk by chunk.
+        let sealed: Vec<SealedMessage> = sampled
+            .iter()
+            .zip(local_results.iter())
+            .map(|(&user, sparse)| self.sessions[user as usize].seal_upload(t, &sparse.encode()))
+            .collect();
+
+        // Lines 8–12: chunked verify/decrypt/fold under the adversary's
+        // tracer, with per-chunk EPC accounting.
+        let d = self.server.dim();
+        let threads = self.threads();
+        let chunk_size = self.chunk();
+        let k = local_results.first().map(|u| u.k()).unwrap_or(0);
+        let mut agg = StreamingAggregator::new(self.cfg.aggregator, d, threads);
+        let mut ws = WorkingSet::default();
+        let mut resident = agg.resident_bytes();
+        ws.alloc(resident);
+        self.enclave.epc.alloc(resident);
+
+        let msg_chunks: Vec<&[SealedMessage]> = sealed.chunks(chunk_size).collect();
+        let mut staged: Vec<SparseGradient> = Vec::new();
+        let mut staged_bytes = 0u64;
+        if let Some(first) = msg_chunks.first() {
+            staged_bytes = staged_chunk_bytes(first);
+            ws.alloc(staged_bytes);
+            self.enclave.epc.alloc(staged_bytes);
+            staged = open_and_decode(&mut self.enclave, first);
+        }
+        for i in 0..msg_chunks.len() {
+            // Charge the transient ingest scratch, and — when
+            // double-buffering — the next chunk's staging, both live
+            // while this chunk folds.
+            let scratch = agg.ingest_scratch_bytes(staged.len(), k);
+            ws.alloc(scratch);
+            self.enclave.epc.alloc(scratch);
+            let next_msgs = msg_chunks.get(i + 1).copied();
+            let next_bytes = next_msgs.map(staged_chunk_bytes).unwrap_or(0);
+            ws.alloc(next_bytes);
+            self.enclave.epc.alloc(next_bytes);
+            let next = if let Some(msgs) = next_msgs {
+                if threads >= 2 {
+                    // Pipeline: open/decode chunk i+1 on an extra worker
+                    // while chunk i aggregates on this thread. Opening
+                    // touches only the enclave's session/replay state,
+                    // which the aggregation does not. The opener rides
+                    // *on top of* the aggregation's thread budget (up to
+                    // threads+1 runnable threads): shrinking the
+                    // aggregation to threads−1 workers would change the
+                    // Grouped wave schedule and break the bitwise
+                    // chunk-invariance contract, and the opener is
+                    // crypto-bound while the sorts are memory-bound, so
+                    // the deliberate oversubscription overlaps well.
+                    let enclave = &mut self.enclave;
+                    std::thread::scope(|scope| {
+                        let opener = scope.spawn(move || open_and_decode(enclave, msgs));
+                        agg.ingest(&staged, tr);
+                        opener.join().expect("upload opener thread must not panic")
+                    })
+                } else {
+                    agg.ingest(&staged, tr);
+                    open_and_decode(&mut self.enclave, msgs)
+                }
+            } else {
+                agg.ingest(&staged, tr);
+                Vec::new()
+            };
+            ws.free(scratch);
+            self.enclave.epc.free(scratch);
+            ws.free(staged_bytes);
+            self.enclave.epc.free(staged_bytes);
+            staged_bytes = next_bytes;
+            staged = next;
+            let now_resident = agg.resident_bytes();
+            ws.resize(resident, now_resident);
+            self.enclave.epc.free(resident);
+            self.enclave.epc.alloc(now_resident);
+            resident = now_resident;
         }
 
-        // Line 12: oblivious aggregation under the adversary's tracer.
-        let d = self.server.dim();
-        let n = updates.len();
-        let k = updates.first().map(|u| u.k()).unwrap_or(0);
-        let ws = working_set_bytes_threaded(self.cfg.aggregator, n, k, d, self.threads());
-        self.enclave.epc.alloc(ws);
-        let mut delta =
-            aggregate_with_threads(self.cfg.aggregator, &updates, d, self.threads(), tr);
-        self.enclave.epc.free(ws);
+        let fin_scratch = agg.finalize_scratch_bytes();
+        ws.alloc(fin_scratch);
+        self.enclave.epc.alloc(fin_scratch);
+        let mut delta = agg.finalize(tr);
+        ws.free(fin_scratch);
+        self.enclave.epc.free(fin_scratch);
+        ws.free(resident);
+        self.enclave.epc.free(resident);
 
         // Algorithm 6 line 12: enclave-side Gaussian perturbation. The
-        // aggregate() above divides by the realized n; Algorithm 6 scales
+        // finalize() above divides by the realized n; Algorithm 6 scales
         // by qN, so rescale before noising.
+        let n = sampled.len();
         let epsilon_spent = if let Some(dp) = self.cfg.dp {
             let qn = (self.cfg.sample_rate * self.cfg.n_clients as f64) as f32;
             let rescale = n as f32 / qn.max(1.0);
@@ -243,8 +385,8 @@ impl OliveSystem {
             processed_users: sampled,
             k_per_user: k,
             epsilon_spent,
-            working_set_bytes: ws,
-            would_page: ws > (96 << 20),
+            working_set_bytes: ws.peak,
+            would_page: ws.peak > self.enclave.epc.limit,
             model_signature,
         }
     }
@@ -308,6 +450,32 @@ impl OliveSystem {
         }
         self.enclave.verify_output(&payload, sig)
     }
+}
+
+/// Enclave-resident bytes of one *staged* upload chunk: the decoded
+/// `(index, value)` pairs (8 B per transmitted cell, read off the public
+/// ciphertext lengths: payload = 8-byte header + 8k, ciphertext =
+/// payload + 16-byte tag).
+pub fn staged_chunk_bytes(msgs: &[SealedMessage]) -> u64 {
+    msgs.iter().map(|m| m.ciphertext.len().saturating_sub(8 + 16) as u64).sum()
+}
+
+/// Opens one chunk of uploads through [`Enclave::open_upload_batch`] and
+/// decodes the plaintext gradient encodings — the per-chunk enclave work
+/// of the streaming round pipeline ([`OliveSystem::run_round`]), shared
+/// with the ingestion benchmarks. Panics on any invalid upload (the
+/// simulation's clients are honest; a deployment would drop the slot and
+/// continue, which [`Enclave::open_upload_batch`]'s per-message `Result`s
+/// support).
+pub fn open_and_decode(enclave: &mut Enclave, msgs: &[SealedMessage]) -> Vec<SparseGradient> {
+    enclave
+        .open_upload_batch(msgs)
+        .into_iter()
+        .map(|r| {
+            let plain = r.expect("sampled, registered, fresh uploads must verify");
+            SparseGradient::decode(&plain).expect("well-formed client encoding")
+        })
+        .collect()
 }
 
 /// Scratch working-set estimate (bytes) for each aggregator — what the
@@ -468,6 +636,83 @@ mod tests {
         for threads in [2usize, 4] {
             assert_eq!(serial, run(threads), "threads={threads} changed the global model");
         }
+    }
+
+    /// The streaming contract at round level: the ingestion chunk size is
+    /// a public knob that must change neither the global model bits nor
+    /// the aggregation trace.
+    #[test]
+    fn chunk_size_does_not_change_the_round() {
+        use olive_memsim::{Granularity, RecordingTracer};
+        let run = |chunk: usize, threads: usize| {
+            let mut sys = tiny_system(AggregatorKind::Grouped { h: 2 }, None);
+            sys.set_threads(threads);
+            sys.set_chunk(chunk);
+            assert_eq!(sys.chunk(), chunk);
+            let mut tr = RecordingTracer::new(Granularity::Element);
+            sys.run_round(&mut tr);
+            (sys.global_params(), tr.digest())
+        };
+        for threads in [1usize, 2] {
+            let (ref_params, ref_digest) = run(64, threads);
+            for chunk in [1usize, 2, 3] {
+                let (params, digest) = run(chunk, threads);
+                assert_eq!(params, ref_params, "chunk={chunk} threads={threads} changed model");
+                assert_eq!(digest, ref_digest, "chunk={chunk} threads={threads} changed trace");
+            }
+        }
+    }
+
+    /// EPC accounting is balanced (everything charged per chunk is freed)
+    /// and a smaller chunk size yields a no-larger working-set peak.
+    #[test]
+    fn streaming_epc_accounting_balances_and_bounds() {
+        let peak = |chunk: usize| {
+            let mut sys = tiny_system(AggregatorKind::NonOblivious, None);
+            sys.set_threads(1);
+            sys.set_chunk(chunk);
+            let report = sys.run_round(&mut NullTracer);
+            assert!(report.working_set_bytes > 0);
+            assert_eq!(sys.enclave.epc.live, 0, "all round allocations must be freed");
+            report.working_set_bytes
+        };
+        assert!(peak(1) <= peak(64), "smaller chunks must not increase the peak");
+    }
+
+    /// `would_page` compares against the *configured* EPC budget, not a
+    /// hardcoded constant.
+    #[test]
+    fn would_page_uses_configured_epc_budget() {
+        let gen = Generator::new(SyntheticConfig::tiny(12, 4), 3);
+        let clients = partition(&gen, 8, LabelAssignment::Fixed(2), 10, 1);
+        let model = mlp(12, 6, 4, 0.0, 5);
+        let d = model.param_count();
+        let cfg = OliveConfig {
+            n_clients: 8,
+            sample_rate: 0.5,
+            client: ClientConfig {
+                epochs: 1,
+                batch_size: 5,
+                lr: 0.1,
+                sparsifier: Sparsifier::TopK(d / 10),
+                clip: None,
+            },
+            aggregator: AggregatorKind::Advanced,
+            server_lr: 1.0,
+            dp: None,
+            seed: 77,
+        };
+        let tiny_epc = olive_tee::EnclaveConfig {
+            epc_bytes: 64, // far below any real round's working set
+            ..Default::default()
+        };
+        let mut sys =
+            OliveSystem::with_enclave_config(model.clone(), clients.clone(), cfg.clone(), tiny_epc);
+        let report = sys.run_round(&mut NullTracer);
+        assert!(report.would_page, "a 64-byte EPC must page");
+        let mut roomy = OliveSystem::new(model, clients, cfg);
+        let report = roomy.run_round(&mut NullTracer);
+        assert!(!report.would_page, "a tiny round fits the default 96 MiB EPC");
     }
 
     #[test]

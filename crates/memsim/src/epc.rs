@@ -75,6 +75,46 @@ impl EpcSim {
     }
 }
 
+/// Byte-level live/peak accounting for an enclave working set.
+///
+/// The streaming round pipeline charges every transient (a staged upload
+/// chunk, an aggregator's scratch) and resident (the dense accumulator,
+/// buffered cells) allocation here, so the *peak* — the number the EPC
+/// limit is compared against — reflects what is simultaneously live, not
+/// what a whole round touches in total. Freeing more than is live is a
+/// bug in the caller's pairing, so [`WorkingSet::free`] saturates and
+/// debug-asserts.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkingSet {
+    /// Currently live bytes.
+    pub live: u64,
+    /// High-water mark over the accounting window.
+    pub peak: u64,
+}
+
+impl WorkingSet {
+    /// Records an allocation of `bytes`.
+    pub fn alloc(&mut self, bytes: u64) {
+        self.live += bytes;
+        self.peak = self.peak.max(self.live);
+    }
+
+    /// Records a release of `bytes`.
+    pub fn free(&mut self, bytes: u64) {
+        debug_assert!(bytes <= self.live, "freeing {bytes} bytes with {} live", self.live);
+        self.live = self.live.saturating_sub(bytes);
+    }
+
+    /// Adjusts the live set to a new size for a buffer that grew or shrank
+    /// in place (an accumulator that buffers cells across chunks): frees
+    /// `old` and allocates `new` as one event, so the peak never counts
+    /// both generations of the same buffer.
+    pub fn resize(&mut self, old: u64, new: u64) {
+        self.free(old);
+        self.alloc(new);
+    }
+}
+
 /// Latency constants (nanoseconds) for converting hit/miss/fault counts into
 /// an estimated execution-time contribution.
 ///
@@ -204,6 +244,21 @@ mod tests {
             est.estimated_ns()
         };
         assert!(run(16) > run(4) * 2.0);
+    }
+
+    #[test]
+    fn working_set_tracks_peak_not_total() {
+        let mut ws = WorkingSet::default();
+        ws.alloc(100);
+        ws.free(100);
+        ws.alloc(60);
+        assert_eq!(ws.peak, 100, "peak is simultaneous-live, not cumulative");
+        assert_eq!(ws.live, 60);
+        ws.resize(60, 90);
+        assert_eq!(ws.live, 90);
+        assert_eq!(ws.peak, 100, "resize must not double-count the old buffer");
+        ws.resize(90, 150);
+        assert_eq!(ws.peak, 150);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use buf::TrackedBuf;
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use check::{assert_not_oblivious, assert_oblivious, trace_of};
 pub use digest::TraceDigest;
-pub use epc::{CostModel, EpcSim, EpcStats, SgxCostEstimate};
+pub use epc::{CostModel, EpcSim, EpcStats, SgxCostEstimate, WorkingSet};
 pub use threads::default_threads;
 pub use tracer::{
     Access, Granularity, NullTracer, Op, ParallelTracer, RecordingTracer, RegionId, Tracer,

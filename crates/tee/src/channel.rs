@@ -24,13 +24,24 @@ pub struct SealedMessage {
     pub ciphertext: Vec<u8>,
 }
 
+/// Exact byte length of an upload's AAD (domain tag + user + round) —
+/// lets batch verification preallocate one scratch buffer per chunk.
+pub const AAD_CAPACITY: usize = 16 + 4 + 8;
+
 impl SealedMessage {
     /// Associated data binding sender identity and round into the AEAD.
     pub fn aad(&self) -> Vec<u8> {
-        let mut aad = b"olive-upload-v1:".to_vec();
-        aad.extend_from_slice(&self.user.to_be_bytes());
-        aad.extend_from_slice(&self.round.to_be_bytes());
+        let mut aad = Vec::with_capacity(AAD_CAPACITY);
+        self.write_aad(&mut aad);
         aad
+    }
+
+    /// Appends the AAD to `out` (the allocation-free form the batched
+    /// verification path reuses one buffer for).
+    pub fn write_aad(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(b"olive-upload-v1:");
+        out.extend_from_slice(&self.user.to_be_bytes());
+        out.extend_from_slice(&self.round.to_be_bytes());
     }
 }
 
@@ -127,7 +138,7 @@ mod tests {
         let mut client =
             ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
         enclave.register_client(17, client.dh_public());
-        enclave.begin_round(vec![17, 18]);
+        enclave.begin_round(0, vec![17, 18]);
 
         let msg = client.seal_upload(0, b"sparse-gradient-bytes");
         assert_eq!(enclave.open_upload(&msg).unwrap(), b"sparse-gradient-bytes");
@@ -140,7 +151,7 @@ mod tests {
         let mut client =
             ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
         enclave.register_client(17, client.dh_public());
-        enclave.begin_round(vec![18]);
+        enclave.begin_round(0, vec![18]);
         let msg = client.seal_upload(0, b"x");
         assert_eq!(enclave.open_upload(&msg).unwrap_err(), TeeError::NotSampled);
     }
@@ -151,7 +162,7 @@ mod tests {
         let m = enclave.measurement();
         let mut client =
             ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
-        enclave.begin_round(vec![17]);
+        enclave.begin_round(0, vec![17]);
         let msg = client.seal_upload(0, b"x");
         assert_eq!(enclave.open_upload(&msg).unwrap_err(), TeeError::UnknownUser);
     }
@@ -163,7 +174,7 @@ mod tests {
         let mut client =
             ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
         enclave.register_client(17, client.dh_public());
-        enclave.begin_round(vec![17]);
+        enclave.begin_round(0, vec![17]);
         let msg = client.seal_upload(0, b"x");
         assert!(enclave.open_upload(&msg).is_ok());
         assert_eq!(enclave.open_upload(&msg).unwrap_err(), TeeError::Replay);
@@ -176,10 +187,88 @@ mod tests {
         let mut client =
             ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
         enclave.register_client(17, client.dh_public());
-        enclave.begin_round(vec![17]);
+        enclave.begin_round(0, vec![17]);
         let mut msg = client.seal_upload(0, b"x");
         msg.ciphertext[0] ^= 1;
         assert_eq!(enclave.open_upload(&msg).unwrap_err(), TeeError::AuthFailure);
+    }
+
+    #[test]
+    fn stale_round_rejected() {
+        let (service, mut enclave, quote) = setup();
+        let m = enclave.measurement();
+        let mut client =
+            ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
+        enclave.register_client(17, client.dh_public());
+        enclave.begin_round(3, vec![17]);
+        // A payload sealed for round 2 authenticates (its AAD is
+        // self-consistent) but must be rejected as stale.
+        let msg = client.seal_upload(2, b"x");
+        assert_eq!(enclave.open_upload(&msg).unwrap_err(), TeeError::WrongRound);
+        let fresh = client.seal_upload(3, b"y");
+        assert_eq!(enclave.open_upload(&fresh).unwrap(), b"y");
+    }
+
+    /// The batched open path: one bad upload (replayed, stale, unknown,
+    /// tampered) must surface in its own slot without poisoning the rest
+    /// of the chunk.
+    #[test]
+    fn open_upload_batch_isolates_per_message_failures() {
+        let (service, mut enclave, quote) = setup();
+        let m = enclave.measurement();
+        let mut clients: Vec<ClientSession> = (0..4u32)
+            .map(|u| {
+                let c =
+                    ClientSession::establish(u, service.public_key(), &m, &quote, [u as u8; 32])
+                        .unwrap();
+                enclave.register_client(u, c.dh_public());
+                c
+            })
+            .collect();
+        enclave.begin_round(1, vec![0, 1, 2, 3]);
+
+        let good0 = clients[0].seal_upload(1, b"g0");
+        let replayed = good0.clone();
+        let stale = clients[1].seal_upload(0, b"stale");
+        let mut tampered = clients[2].seal_upload(1, b"t");
+        tampered.ciphertext[0] ^= 1;
+        let good3 = clients[3].seal_upload(1, b"g3");
+        let mut unsampled = clients[1].seal_upload(1, b"u");
+        unsampled.user = 99;
+
+        let batch = [good0, replayed, stale, tampered, good3, unsampled];
+        let results = enclave.open_upload_batch(&batch);
+        assert_eq!(results.len(), 6);
+        assert_eq!(results[0].as_deref().unwrap(), b"g0");
+        assert_eq!(results[1].as_ref().unwrap_err(), &TeeError::Replay);
+        assert_eq!(results[2].as_ref().unwrap_err(), &TeeError::WrongRound);
+        assert_eq!(results[3].as_ref().unwrap_err(), &TeeError::AuthFailure);
+        assert_eq!(results[4].as_deref().unwrap(), b"g3", "later slots unaffected");
+        assert_eq!(results[5].as_ref().unwrap_err(), &TeeError::NotSampled);
+    }
+
+    /// Batched and serial opening are the same verification pipeline:
+    /// identical accept/reject decisions and plaintexts on a fresh clone
+    /// of the message stream.
+    #[test]
+    fn open_upload_batch_matches_serial_semantics() {
+        let (service, mut enclave, quote) = setup();
+        let m = enclave.measurement();
+        let mut c =
+            ClientSession::establish(7, service.public_key(), &m, &quote, [1u8; 32]).unwrap();
+        enclave.register_client(7, c.dh_public());
+        enclave.begin_round(0, vec![7]);
+        let msgs: Vec<SealedMessage> = (0..3).map(|i| c.seal_upload(0, &[i as u8])).collect();
+        // Serial reference on a second enclave with the same platform seed
+        // and attestation transcript (hence the same session keys).
+        let mut enclave2 = Enclave::launch(&EnclaveConfig::default(), [7u8; 32]);
+        let _ = enclave2.attest(&service, b"test");
+        enclave2.register_client(7, c.dh_public());
+        enclave2.begin_round(0, vec![7]);
+        let batch = enclave.open_upload_batch(&msgs);
+        for (msg, got) in msgs.iter().zip(batch) {
+            assert_eq!(enclave2.open_upload(msg), got);
+        }
     }
 
     #[test]
@@ -194,7 +283,7 @@ mod tests {
             ClientSession::establish(18, service.public_key(), &m, &quote, [6u8; 32]).unwrap();
         enclave.register_client(17, c17.dh_public());
         enclave.register_client(18, c18.dh_public());
-        enclave.begin_round(vec![17, 18]);
+        enclave.begin_round(0, vec![17, 18]);
         let mut msg = c17.seal_upload(0, b"secret");
         msg.user = 18; // server tries to attribute the payload to user 18
         assert_eq!(enclave.open_upload(&msg).unwrap_err(), TeeError::AuthFailure);

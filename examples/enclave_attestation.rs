@@ -37,7 +37,7 @@ fn main() {
     println!("client 42: attestation OK, session key established");
 
     // Round 0: encrypted gradient upload.
-    enclave.begin_round(vec![42]);
+    enclave.begin_round(0, vec![42]);
     let upload = client.seal_upload(0, b"(sparse gradient cells would go here)");
     let plain = enclave.open_upload(&upload).expect("authentic upload");
     println!("enclave decrypted {} bytes from client 42", plain.len());

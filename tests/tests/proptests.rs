@@ -1,7 +1,10 @@
 //! Property-based tests over the core invariants, spanning crates.
 
 use olive_core::aggregation::grouped::aggregate_grouped_with_threads;
-use olive_core::aggregation::{aggregate, reference_average, AggregatorKind};
+use olive_core::aggregation::{
+    aggregate, aggregate_with_threads, reference_average, Aggregator, AggregatorKind,
+    StreamingAggregator,
+};
 use olive_fl::SparseGradient;
 use olive_memsim::{trace_of, Granularity, NullTracer, RecordingTracer, TrackedBuf};
 use olive_oblivious::sort::bitonic_sort_by_key;
@@ -105,6 +108,40 @@ proptest! {
             let (out, ev) = run(threads);
             prop_assert_eq!(&out, &serial_out, "output drifted at threads={}", threads);
             prop_assert_eq!(&ev, &serial_ev, "trace multiset drifted at threads={}", threads);
+        }
+    }
+
+    /// The streaming contract as a property: for arbitrary inputs and an
+    /// arbitrary chunk size, driving the Aggregator trait chunk-by-chunk
+    /// reproduces the one-shot output bits and trace digest for every
+    /// aggregator kind — chunk boundaries never change the result.
+    #[test]
+    fn chunk_boundaries_never_change_the_result(
+        updates in updates_strategy(8, 32),
+        chunk in 1usize..9,
+        threads in 1usize..3,
+    ) {
+        let d = 32;
+        for kind in [
+            AggregatorKind::NonOblivious,
+            AggregatorKind::Baseline { cacheline_weights: 16 },
+            AggregatorKind::Advanced,
+            AggregatorKind::Grouped { h: 2 },
+        ] {
+            let mut one_tr = RecordingTracer::new(Granularity::Element);
+            let one = aggregate_with_threads(kind, &updates, d, threads, &mut one_tr);
+            let mut tr = RecordingTracer::new(Granularity::Element);
+            let mut agg = StreamingAggregator::new(kind, d, threads);
+            for c in updates.chunks(chunk) {
+                agg.ingest(c, &mut tr);
+            }
+            let got = agg.finalize(&mut tr);
+            let one_bits: Vec<u32> = one.iter().map(|v| v.to_bits()).collect();
+            let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got_bits, one_bits,
+                "{:?} chunk={} threads={}: output drifted", kind, chunk, threads);
+            prop_assert_eq!(tr.digest(), one_tr.digest(),
+                "{:?} chunk={} threads={}: trace drifted", kind, chunk, threads);
         }
     }
 

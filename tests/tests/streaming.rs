@@ -1,0 +1,160 @@
+//! The streaming-aggregation contract, cross-crate: for every aggregator
+//! kind, driving the [`Aggregator`] trait chunk-by-chunk is **bitwise
+//! output- and trace-digest-identical** to the one-shot path, at every
+//! tested (chunk, threads) combination — and the trace stays a pure
+//! function of the public shape (obliviousness is preserved under
+//! chunking, since the chunk schedule is public).
+
+use olive_core::aggregation::{
+    aggregate_with_threads, reference_average, Aggregator, AggregatorKind, StreamingAggregator,
+};
+use olive_fl::SparseGradient;
+use olive_memsim::{assert_oblivious, Granularity, NullTracer, RecordingTracer, TraceDigest};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_updates(n: usize, k: usize, d: usize, seed: u64) -> Vec<SparseGradient> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut idxs: Vec<u32> = (0..d as u32).collect();
+            for t in 0..k {
+                let j = rng.gen_range(t..d);
+                idxs.swap(t, j);
+            }
+            let mut indices: Vec<u32> = idxs[..k].to_vec();
+            indices.sort_unstable();
+            SparseGradient {
+                dense_dim: d,
+                indices,
+                values: (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            }
+        })
+        .collect()
+}
+
+fn all_kinds() -> Vec<AggregatorKind> {
+    vec![
+        AggregatorKind::NonOblivious,
+        AggregatorKind::Baseline { cacheline_weights: 16 },
+        AggregatorKind::Baseline { cacheline_weights: 1 },
+        AggregatorKind::Advanced,
+        AggregatorKind::Grouped { h: 3 },
+        AggregatorKind::PathOram { posmap: olive_oram::PosMapKind::LinearScan },
+        AggregatorKind::DiffOblivious { epsilon: 1.0, delta: 1e-3, seed: 11 },
+    ]
+}
+
+fn stream(
+    kind: AggregatorKind,
+    updates: &[SparseGradient],
+    d: usize,
+    chunk: usize,
+    threads: usize,
+) -> (Vec<u32>, TraceDigest) {
+    let mut tr = RecordingTracer::new(Granularity::Element);
+    let mut agg = StreamingAggregator::new(kind, d, threads);
+    for c in updates.chunks(chunk) {
+        agg.ingest(c, &mut tr);
+    }
+    assert_eq!(agg.clients(), updates.len());
+    let out = agg.finalize(&mut tr);
+    (out.iter().map(|v| v.to_bits()).collect(), tr.digest())
+}
+
+/// The satellite matrix: chunk ∈ {1, 7, n} × threads ∈ {1, 2, 8} for
+/// every aggregator kind, against the one-shot path at the same thread
+/// count.
+#[test]
+fn streaming_equals_one_shot_at_every_chunk_and_thread_count() {
+    let d = 96;
+    let n = 13;
+    let updates = random_updates(n, 6, d, 41);
+    for kind in all_kinds() {
+        for threads in [1usize, 2, 8] {
+            let (one_bits, one_digest) = {
+                let mut tr = RecordingTracer::new(Granularity::Element);
+                let out = aggregate_with_threads(kind, &updates, d, threads, &mut tr);
+                (out.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(), tr.digest())
+            };
+            for chunk in [1usize, 7, n] {
+                let (bits, digest) = stream(kind, &updates, d, chunk, threads);
+                assert_eq!(
+                    bits, one_bits,
+                    "{kind:?} chunk={chunk} threads={threads}: output bits drifted"
+                );
+                assert_eq!(
+                    digest, one_digest,
+                    "{kind:?} chunk={chunk} threads={threads}: trace drifted"
+                );
+            }
+        }
+    }
+}
+
+/// Chunked ingestion still computes the right answer (guards against the
+/// equality test comparing two identically-wrong paths).
+#[test]
+fn streaming_matches_dense_reference() {
+    let d = 64;
+    let updates = random_updates(11, 5, d, 7);
+    let expected = reference_average(&updates, d);
+    for kind in all_kinds() {
+        let mut agg = StreamingAggregator::new(kind, d, 2);
+        for c in updates.chunks(4) {
+            agg.ingest(c, &mut NullTracer);
+        }
+        let got = agg.finalize(&mut NullTracer);
+        for (i, (a, b)) in got.iter().zip(expected.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-3, "{kind:?} coordinate {i}: {a} vs {b}");
+        }
+    }
+}
+
+/// Chunk size is public: for a fixed (shape, chunk, threads) schedule the
+/// oblivious kinds still produce content-independent traces.
+#[test]
+fn streaming_is_oblivious_at_fixed_chunk_schedule() {
+    let d = 96;
+    let inputs: Vec<Vec<SparseGradient>> =
+        [1u64, 2, 3].iter().map(|&s| random_updates(9, 6, d, s)).collect();
+    for kind in [
+        AggregatorKind::Baseline { cacheline_weights: 1 },
+        AggregatorKind::Advanced,
+        AggregatorKind::Grouped { h: 2 },
+    ] {
+        for chunk in [1usize, 4] {
+            for threads in [1usize, 2] {
+                assert_oblivious(Granularity::Element, &inputs, |ups, tr| {
+                    let mut agg = StreamingAggregator::new(kind, d, threads);
+                    for c in ups.chunks(chunk) {
+                        agg.ingest(c, tr);
+                    }
+                    agg.finalize(tr);
+                });
+            }
+        }
+    }
+}
+
+/// Uneven chunk partitions (not just fixed sizes): splitting the round at
+/// any single cut point reproduces the one-shot bits and trace.
+#[test]
+fn arbitrary_cut_points_are_invisible() {
+    let d = 48;
+    let n = 9;
+    let updates = random_updates(n, 4, d, 99);
+    for kind in all_kinds() {
+        let (one_bits, one_digest) = stream(kind, &updates, d, n, 2);
+        for cut in 1..n {
+            let mut tr = RecordingTracer::new(Granularity::Element);
+            let mut agg = StreamingAggregator::new(kind, d, 2);
+            agg.ingest(&updates[..cut], &mut tr);
+            agg.ingest(&updates[cut..], &mut tr);
+            let out = agg.finalize(&mut tr);
+            let bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, one_bits, "{kind:?} cut={cut}: output bits drifted");
+            assert_eq!(tr.digest(), one_digest, "{kind:?} cut={cut}: trace drifted");
+        }
+    }
+}
