@@ -193,6 +193,30 @@ impl AdvancedStreamer {
     pub fn finalize_scratch_bytes(&self) -> u64 {
         next_pow2(self.cells.len() + self.d) as u64 * 8 + self.d as u64 * 4
     }
+
+    /// Serializes the streamer for a sealed mid-round checkpoint. The
+    /// staged cells are sealed honestly — the checkpoint is O(nk), the
+    /// same EPC-cliff footprint this algorithm already carries.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = olive_memsim::StateWriter::new();
+        w.put_usize(self.d);
+        w.put_usize(self.threads);
+        w.put_usize(self.n);
+        w.put_u64s(&self.cells);
+        w.into_bytes()
+    }
+
+    /// Restores an [`AdvancedStreamer::save_state`] snapshot into a
+    /// freshly initialized streamer of the same configuration.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), olive_memsim::StateError> {
+        let mut r = olive_memsim::StateReader::new(bytes);
+        if r.get_usize()? != self.d || r.get_usize()? != self.threads {
+            return Err(olive_memsim::StateError::Mismatch);
+        }
+        self.n = r.get_usize()?;
+        self.cells = r.get_u64s()?;
+        r.expect_end()
+    }
 }
 
 #[cfg(test)]

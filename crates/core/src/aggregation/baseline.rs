@@ -18,7 +18,7 @@
 //! so output **and trace** are invariant across thread counts.
 
 use olive_fl::SparseGradient;
-use olive_memsim::{Op, Tracer, TrackedBuf};
+use olive_memsim::{Op, StateError, StateReader, StateWriter, Tracer, TrackedBuf};
 use olive_oblivious::o_select;
 
 use crate::cell::{cell_index, cell_value, concat_cells};
@@ -194,6 +194,35 @@ impl BaselineStreamer {
     /// Persistent enclave bytes: the padded dense accumulator.
     pub fn resident_bytes(&self) -> u64 {
         self.padded as u64 * WEIGHT_BYTES as u64
+    }
+
+    /// Serializes the streamer for a sealed mid-round checkpoint.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_usize(self.d);
+        w.put_usize(self.c);
+        w.put_usize(self.threads);
+        w.put_usize(self.next_cell);
+        w.put_usize(self.n);
+        w.put_f32s(self.gstar.as_slice_untraced());
+        w.into_bytes()
+    }
+
+    /// Restores a [`BaselineStreamer::save_state`] snapshot into a
+    /// freshly initialized streamer of the same configuration.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        if r.get_usize()? != self.d || r.get_usize()? != self.c || r.get_usize()? != self.threads {
+            return Err(StateError::Mismatch);
+        }
+        self.next_cell = r.get_usize()?;
+        self.n = r.get_usize()?;
+        let gstar = r.get_f32s()?;
+        if gstar.len() != self.padded {
+            return Err(StateError::Mismatch);
+        }
+        self.gstar.as_mut_slice_untraced().copy_from_slice(&gstar);
+        r.expect_end()
     }
 }
 

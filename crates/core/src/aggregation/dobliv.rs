@@ -173,6 +173,39 @@ impl DoblivStreamer {
             self.cells.len() as f64 + expected_padding(self.d, k, self.epsilon, self.delta);
         (padded * 2.0 * 8.0) as u64 + self.d as u64 * 4
     }
+
+    /// Serializes the streamer for a sealed mid-round checkpoint. The
+    /// staged cells are sealed honestly (O(nk), like Advanced); the
+    /// padding/shuffle seed travels with them so finalize draws the
+    /// same dummies after a restore.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = olive_memsim::StateWriter::new();
+        w.put_usize(self.d);
+        w.put_f64(self.epsilon);
+        w.put_f64(self.delta);
+        w.put_u64(self.seed);
+        w.put_usize(self.threads);
+        w.put_usize(self.n);
+        w.put_u64s(&self.cells);
+        w.into_bytes()
+    }
+
+    /// Restores a [`DoblivStreamer::save_state`] snapshot into a freshly
+    /// initialized streamer of the same configuration.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), olive_memsim::StateError> {
+        let mut r = olive_memsim::StateReader::new(bytes);
+        if r.get_usize()? != self.d
+            || r.get_f64()?.to_bits() != self.epsilon.to_bits()
+            || r.get_f64()?.to_bits() != self.delta.to_bits()
+            || r.get_u64()? != self.seed
+            || r.get_usize()? != self.threads
+        {
+            return Err(olive_memsim::StateError::Mismatch);
+        }
+        self.n = r.get_usize()?;
+        self.cells = r.get_u64s()?;
+        r.expect_end()
+    }
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@
 //! `available_parallelism().min(8)` (see [`crate::parallel`]).
 
 use olive_fl::SparseGradient;
-use olive_memsim::{ParallelTracer, Tracer, TrackedBuf};
+use olive_memsim::{ParallelTracer, StateError, StateReader, StateWriter, Tracer, TrackedBuf};
 
 use crate::cell::concat_cells;
 use crate::parallel::default_threads;
@@ -243,6 +243,48 @@ impl GroupedStreamer {
         let group_cells = olive_oblivious::sort::next_pow2(self.h * k + self.d) as u64;
         let in_flight = if self.threads == 1 { 1 } else { self.threads } as u64;
         in_flight * (group_cells * 8 + self.d as u64 * 4)
+    }
+
+    /// Serializes the streamer for a sealed mid-round checkpoint: the
+    /// running total's bits plus the buffered partial unit (pending
+    /// updates that have not yet filled a group/wave).
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_usize(self.d);
+        w.put_usize(self.h);
+        w.put_usize(self.threads);
+        w.put_usize(self.n);
+        w.put_f32s(self.total.as_slice_untraced());
+        w.put_usize(self.pending.len());
+        for u in &self.pending {
+            w.put_bytes(&u.encode());
+        }
+        w.into_bytes()
+    }
+
+    /// Restores a [`GroupedStreamer::save_state`] snapshot into a freshly
+    /// initialized streamer of the same configuration.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        if r.get_usize()? != self.d || r.get_usize()? != self.h || r.get_usize()? != self.threads {
+            return Err(StateError::Mismatch);
+        }
+        self.n = r.get_usize()?;
+        let total = r.get_f32s()?;
+        if total.len() != self.total.len() {
+            return Err(StateError::Mismatch);
+        }
+        self.total.as_mut_slice_untraced().copy_from_slice(&total);
+        let pending_len = r.get_usize()?;
+        self.pending.clear();
+        for _ in 0..pending_len {
+            let u = SparseGradient::decode(r.get_bytes()?).ok_or(StateError::Corrupt)?;
+            if u.dense_dim != self.d {
+                return Err(StateError::Mismatch);
+            }
+            self.pending.push(u);
+        }
+        r.expect_end()
     }
 }
 

@@ -8,7 +8,7 @@
 //! implemented here; the sparse variant is the attack surface.
 
 use olive_fl::SparseGradient;
-use olive_memsim::{Op, Tracer, TrackedBuf};
+use olive_memsim::{Op, StateError, StateReader, StateWriter, Tracer, TrackedBuf};
 
 use crate::cell::{cell_index, cell_value};
 use crate::regions::{REGION_G, REGION_G_STAR};
@@ -133,6 +133,34 @@ impl LinearStreamer {
     /// Persistent enclave bytes: the dense accumulator.
     pub fn resident_bytes(&self) -> u64 {
         self.d as u64 * 4
+    }
+
+    /// Serializes the streamer for a sealed mid-round checkpoint: the
+    /// accumulator bits, the global `G` offset, and the client count.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_usize(self.d);
+        w.put_usize(self.next_cell);
+        w.put_usize(self.n);
+        w.put_f32s(self.gstar.as_slice_untraced());
+        w.into_bytes()
+    }
+
+    /// Restores a [`LinearStreamer::save_state`] snapshot into a freshly
+    /// initialized streamer of the same dimension.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        if r.get_usize()? != self.d {
+            return Err(StateError::Mismatch);
+        }
+        self.next_cell = r.get_usize()?;
+        self.n = r.get_usize()?;
+        let gstar = r.get_f32s()?;
+        if gstar.len() != self.gstar.len() {
+            return Err(StateError::Mismatch);
+        }
+        self.gstar.as_mut_slice_untraced().copy_from_slice(&gstar);
+        r.expect_end()
     }
 }
 

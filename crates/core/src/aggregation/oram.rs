@@ -149,6 +149,32 @@ impl OramStreamer {
     pub fn finalize_scratch_bytes(&self) -> u64 {
         self.d as u64 * 4
     }
+
+    /// Serializes the streamer for a sealed mid-round checkpoint. The
+    /// ORAM snapshot includes tree, stash, position map and the path
+    /// RNG, so a restored streamer continues the exact random path
+    /// sequence of the snapshotted one.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = olive_memsim::StateWriter::new();
+        w.put_usize(self.d);
+        w.put_usize(self.next_cell);
+        w.put_usize(self.n);
+        w.put_bytes(&self.oram.save_state());
+        w.into_bytes()
+    }
+
+    /// Restores an [`OramStreamer::save_state`] snapshot into a freshly
+    /// initialized streamer of the same configuration.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), olive_memsim::StateError> {
+        let mut r = olive_memsim::StateReader::new(bytes);
+        if r.get_usize()? != self.d {
+            return Err(olive_memsim::StateError::Mismatch);
+        }
+        self.next_cell = r.get_usize()?;
+        self.n = r.get_usize()?;
+        self.oram.load_state(r.get_bytes()?)?;
+        r.expect_end()
+    }
 }
 
 #[cfg(test)]

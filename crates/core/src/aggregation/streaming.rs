@@ -45,7 +45,7 @@
 //! partitions.
 
 use olive_fl::SparseGradient;
-use olive_memsim::ParallelTracer;
+use olive_memsim::{ParallelTracer, StateError};
 
 use super::advanced::AdvancedStreamer;
 use super::baseline::BaselineStreamer;
@@ -100,6 +100,21 @@ pub trait Aggregator: Sized {
     fn finalize_scratch_bytes(&self) -> u64 {
         0
     }
+
+    /// Serializes the aggregator's persistent state for a sealed
+    /// mid-round checkpoint. Loading the blob (`load_state`) into a
+    /// freshly initialized aggregator of the same configuration
+    /// reproduces the snapshotted instance exactly: ingesting the
+    /// remaining chunks yields the same output bits and the same trace
+    /// as an uninterrupted run. The staged kinds (Advanced,
+    /// DiffOblivious) serialize their whole cell buffer — the honest
+    /// O(nk) cost their security argument already implies.
+    fn save_state(&self) -> Vec<u8>;
+
+    /// Restores state captured by [`Aggregator::save_state`]. Fails with
+    /// [`StateError::Mismatch`] if the blob describes a different
+    /// configuration (dimension, group size, thread budget, kind).
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError>;
 }
 
 impl Aggregator for LinearStreamer {
@@ -117,6 +132,14 @@ impl Aggregator for LinearStreamer {
 
     fn resident_bytes(&self) -> u64 {
         LinearStreamer::resident_bytes(self)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        LinearStreamer::save_state(self)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        LinearStreamer::load_state(self, bytes)
     }
 }
 
@@ -141,6 +164,14 @@ impl Aggregator for BaselineStreamer {
         // The chunk's staged cell copy built for the stripe scans.
         (chunk_clients * k) as u64 * 8
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        BaselineStreamer::save_state(self)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        BaselineStreamer::load_state(self, bytes)
+    }
 }
 
 impl Aggregator for AdvancedStreamer {
@@ -162,6 +193,14 @@ impl Aggregator for AdvancedStreamer {
 
     fn finalize_scratch_bytes(&self) -> u64 {
         AdvancedStreamer::finalize_scratch_bytes(self)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        AdvancedStreamer::save_state(self)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        AdvancedStreamer::load_state(self, bytes)
     }
 }
 
@@ -185,6 +224,14 @@ impl Aggregator for GroupedStreamer {
     fn ingest_scratch_bytes(&self, _chunk_clients: usize, k: usize) -> u64 {
         self.wave_scratch_bytes(k)
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        GroupedStreamer::save_state(self)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        GroupedStreamer::load_state(self, bytes)
+    }
 }
 
 impl Aggregator for OramStreamer {
@@ -207,6 +254,14 @@ impl Aggregator for OramStreamer {
     fn finalize_scratch_bytes(&self) -> u64 {
         OramStreamer::finalize_scratch_bytes(self)
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        OramStreamer::save_state(self)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        OramStreamer::load_state(self, bytes)
+    }
 }
 
 impl Aggregator for DoblivStreamer {
@@ -228,6 +283,14 @@ impl Aggregator for DoblivStreamer {
 
     fn finalize_scratch_bytes(&self) -> u64 {
         DoblivStreamer::finalize_scratch_bytes(self)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        DoblivStreamer::save_state(self)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        DoblivStreamer::load_state(self, bytes)
     }
 }
 
@@ -274,6 +337,19 @@ impl StreamingAggregator {
             }
         }
     }
+
+    /// One byte naming the variant, prepended to serialized state so a
+    /// checkpoint can never be loaded into the wrong algorithm.
+    fn kind_tag(&self) -> u8 {
+        match self {
+            StreamingAggregator::Linear(_) => 0,
+            StreamingAggregator::Baseline(_) => 1,
+            StreamingAggregator::Advanced(_) => 2,
+            StreamingAggregator::Grouped(_) => 3,
+            StreamingAggregator::PathOram(_) => 4,
+            StreamingAggregator::DiffOblivious(_) => 5,
+        }
+    }
 }
 
 macro_rules! dispatch {
@@ -312,6 +388,20 @@ impl Aggregator for StreamingAggregator {
 
     fn finalize_scratch_bytes(&self) -> u64 {
         dispatch!(self, s => Aggregator::finalize_scratch_bytes(s))
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut out = vec![self.kind_tag()];
+        out.extend(dispatch!(self, s => Aggregator::save_state(s)));
+        out
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let (&tag, rest) = bytes.split_first().ok_or(StateError::Truncated)?;
+        if tag != self.kind_tag() {
+            return Err(StateError::Mismatch);
+        }
+        dispatch!(self, s => Aggregator::load_state(s, rest))
     }
 }
 
@@ -458,6 +548,58 @@ mod tests {
                 "{kind:?} stages the whole round"
             );
         }
+    }
+
+    /// The checkpoint contract at unit scale: for every kind, snapshot
+    /// after a mid-stream chunk, load into a fresh same-config streamer,
+    /// finish both — output bits AND the *remaining* trace must match.
+    #[test]
+    fn state_roundtrip_is_invisible_for_every_kind() {
+        let d = 48;
+        let updates = random_updates(7, 5, d, 55);
+        for kind in all_kinds() {
+            let mut a = StreamingAggregator::new(kind, d, 1);
+            a.ingest(&updates[..4], &mut NullTracer);
+            let blob = a.save_state();
+            let mut b = StreamingAggregator::new(kind, d, 1);
+            b.load_state(&blob).unwrap_or_else(|e| panic!("{kind:?}: load failed: {e}"));
+            assert_eq!(b.clients(), 4, "{kind:?}: client count not restored");
+            let mut tra = RecordingTracer::new(Granularity::Element);
+            let mut trb = RecordingTracer::new(Granularity::Element);
+            a.ingest(&updates[4..], &mut tra);
+            b.ingest(&updates[4..], &mut trb);
+            let va = a.finalize(&mut tra);
+            let vb = b.finalize(&mut trb);
+            let bits_eq = va.iter().zip(vb.iter()).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(bits_eq, "{kind:?}: restored output bits drifted");
+            assert_eq!(tra.digest(), trb.digest(), "{kind:?}: restored trace drifted");
+        }
+    }
+
+    /// Cross-kind and cross-config loads are rejected, never absorbed.
+    #[test]
+    fn state_blob_mismatches_rejected() {
+        use olive_memsim::StateError;
+        let d = 48;
+        let updates = random_updates(4, 5, d, 21);
+        let mut a = StreamingAggregator::new(AggregatorKind::Grouped { h: 2 }, d, 1);
+        a.ingest(&updates, &mut NullTracer);
+        let blob = a.save_state();
+        // Wrong kind.
+        let mut b = StreamingAggregator::new(AggregatorKind::Advanced, d, 1);
+        assert_eq!(b.load_state(&blob), Err(StateError::Mismatch));
+        // Wrong group size.
+        let mut c = StreamingAggregator::new(AggregatorKind::Grouped { h: 5 }, d, 1);
+        assert_eq!(c.load_state(&blob), Err(StateError::Mismatch));
+        // Wrong dimension.
+        let mut e = StreamingAggregator::new(AggregatorKind::Grouped { h: 2 }, d * 2, 1);
+        assert_eq!(e.load_state(&blob), Err(StateError::Mismatch));
+        // Truncated.
+        let mut f = StreamingAggregator::new(AggregatorKind::Grouped { h: 2 }, d, 1);
+        assert!(f.load_state(&blob[..blob.len() - 3]).is_err());
+        // Empty.
+        let mut g = StreamingAggregator::new(AggregatorKind::Grouped { h: 2 }, d, 1);
+        assert_eq!(g.load_state(&[]), Err(StateError::Truncated));
     }
 
     #[test]

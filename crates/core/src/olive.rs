@@ -22,17 +22,32 @@
 //! 6. the update is applied to the global model and the enclave signs the
 //!    result so clients can detect server-side tampering (Section 5.6).
 
+use std::collections::BTreeMap;
+
 use olive_data::ClientData;
 use olive_dp::{GaussianMechanism, RdpAccountant};
 use olive_fl::{local_update, sample_clients, ClientConfig, FedAvgServer, SparseGradient};
-use olive_memsim::{ParallelTracer, WorkingSet};
+use olive_memsim::{ParallelTracer, StateError, StateReader, StateWriter, WorkingSet};
 use olive_nn::Model;
-use olive_tee::{AttestationService, ClientSession, Enclave, EnclaveConfig, SealedMessage, UserId};
+use olive_tee::{
+    AttestationService, ClientSession, Enclave, EnclaveConfig, SealedMessage, TeeError, UserId,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::aggregation::{Aggregator, AggregatorKind, StreamingAggregator};
 use crate::parallel::default_threads;
+
+/// Sealing label for mid-round checkpoints. One label, one monotonic
+/// nonce counter: every checkpoint of every round draws from the same
+/// sequence, which is what makes the rollback floor a single u64.
+const CKPT_LABEL: &[u8] = b"round-ckpt";
+
+/// Checkpoint blob format version (bump on any layout change).
+const CKPT_VERSION: u8 = 1;
+
+/// Attestation user data binding the enclave quote to the FL protocol.
+const ATTEST_CONTEXT: &[u8] = b"olive-fl-v1";
 
 /// Central-DP configuration (Algorithm 6).
 #[derive(Clone, Copy, Debug)]
@@ -92,6 +107,9 @@ pub struct OliveSystem {
     /// The FedAvg server (global model lives here).
     pub server: FedAvgServer,
     enclave: Enclave,
+    service: AttestationService,
+    enclave_cfg: EnclaveConfig,
+    seed_bytes: [u8; 32],
     sessions: Vec<ClientSession>,
     clients: Vec<ClientData>,
     scratch: Model,
@@ -101,6 +119,55 @@ pub struct OliveSystem {
     accountant: RdpAccountant,
     threads: Option<usize>,
     chunk: Option<usize>,
+    /// Seal a restorable checkpoint after every folded chunk (default on;
+    /// [`OliveSystem::set_checkpointing`] is the escape hatch).
+    checkpoint: bool,
+    /// The interrupted round awaiting [`OliveSystem::restore_round`]:
+    /// untrusted server-side material (public sample, ciphertexts) that
+    /// survives an enclave crash.
+    pending: Option<PendingRound>,
+    /// Newest sealed checkpoint, as *untrusted* storage would hold it.
+    ckpt_store: Option<Vec<u8>>,
+    /// Rollback-protected pin of the newest checkpoint's seal counter
+    /// (simulating platform NV storage that survives enclave death):
+    /// [`OliveSystem::restore_round`] refuses any blob sealed earlier.
+    ckpt_floor: u64,
+}
+
+/// The untrusted remainder of an in-flight round: everything that lives
+/// *outside* the enclave and therefore survives a crash. The sampled set
+/// is public (Algorithm 1 publishes the processing order), the sealed
+/// uploads are ciphertexts in server memory, and the replay floors are
+/// nonce counters already visible on the wire — integrity of all of it is
+/// enforced by the sealed checkpoint, not by this struct.
+struct PendingRound {
+    t: u64,
+    sampled: Vec<UserId>,
+    sealed: Vec<SealedMessage>,
+    k: usize,
+    /// Replay floors as of round start (before any upload was opened):
+    /// the base the per-chunk floor snapshots are computed from.
+    base_floors: Vec<(UserId, u64)>,
+}
+
+/// Enclave-side ingestion state threaded through [`OliveSystem`]'s
+/// chunked fold — the part a crash destroys and a checkpoint restores.
+struct IngestState {
+    agg: StreamingAggregator,
+    ws: WorkingSet,
+    next_chunk: usize,
+    chunk_size: usize,
+    threads: usize,
+}
+
+/// Decoded checkpoint payload (the sealed blob's plaintext).
+struct Checkpoint {
+    chunks_done: usize,
+    chunk_size: usize,
+    threads: usize,
+    rng_state: [u64; 4],
+    floors: Vec<(UserId, u64)>,
+    agg_state: Vec<u8>,
 }
 
 /// Process-default ingestion chunk size: `OLIVE_CHUNK` if set to a
@@ -149,7 +216,7 @@ impl OliveSystem {
         seed_bytes[..8].copy_from_slice(&cfg.seed.to_be_bytes());
         let service = AttestationService::new(seed_bytes);
         let mut enclave = Enclave::launch(&enclave_cfg, seed_bytes);
-        let quote = enclave.attest(&service, b"olive-fl-v1");
+        let quote = enclave.attest(&service, ATTEST_CONTEXT);
         let measurement = enclave.measurement();
         let sessions: Vec<ClientSession> = clients
             .iter()
@@ -165,7 +232,9 @@ impl OliveSystem {
                     cs,
                 )
                 .expect("attestation must succeed in the simulation");
-                enclave.register_client(c.user, session.dh_public());
+                enclave
+                    .register_client(c.user, session.dh_public())
+                    .expect("the enclave attested above, so registration is permitted");
                 session
             })
             .collect();
@@ -175,6 +244,9 @@ impl OliveSystem {
         OliveSystem {
             server,
             enclave,
+            service,
+            enclave_cfg,
+            seed_bytes,
             sessions,
             clients,
             scratch,
@@ -184,6 +256,10 @@ impl OliveSystem {
             accountant: RdpAccountant::new(),
             threads: None,
             chunk: None,
+            checkpoint: true,
+            pending: None,
+            ckpt_store: None,
+            ckpt_floor: 0,
         }
     }
 
@@ -247,11 +323,65 @@ impl OliveSystem {
     /// aggregation trace are bitwise identical at every chunk size (the
     /// streaming contract), so this changes memory and throughput, never
     /// results.
+    ///
+    /// Rounds are **crash-safe**: after every folded chunk the enclave
+    /// seals a restore point (round counter, aggregator state, replay
+    /// floors, RNG state) under [`CKPT_LABEL`], so a crashed round
+    /// resumes via [`OliveSystem::restore_round`] instead of restarting —
+    /// bitwise identical in output and trace to an uninterrupted run.
+    /// [`OliveSystem::set_checkpointing`] turns the sealing off.
     pub fn run_round<TR: ParallelTracer>(&mut self, tr: &mut TR) -> RoundReport {
+        self.run_round_inner(None, tr).expect("round completes when no kill point is injected")
+    }
+
+    /// [`OliveSystem::run_round`] with a simulated crash injected after
+    /// chunk `kill_after` (0-based) has been folded and checkpointed: the
+    /// enclave is torn down and relaunched cold — aggregator, staged
+    /// plaintexts, replay floors and seal counters all gone — and `None`
+    /// is returned. [`OliveSystem::restore_round`] then resumes from the
+    /// sealed checkpoint. A `kill_after` at or past the last chunk lets
+    /// the round complete normally (`Some(report)`).
+    pub fn run_round_kill_after<TR: ParallelTracer>(
+        &mut self,
+        kill_after: usize,
+        tr: &mut TR,
+    ) -> Option<RoundReport> {
+        assert!(self.checkpoint, "kill testing requires checkpointing to be enabled");
+        self.run_round_inner(Some(kill_after), tr)
+    }
+
+    fn run_round_inner<TR: ParallelTracer>(
+        &mut self,
+        kill_after: Option<usize>,
+        tr: &mut TR,
+    ) -> Option<RoundReport> {
+        assert!(
+            self.pending.is_none(),
+            "an interrupted round must be restored (restore_round) before starting a new one"
+        );
+        let pending = self.prepare_round();
+        if pending.sampled.is_empty() {
+            return Some(self.finish_empty_round(pending.t));
+        }
+        let st = IngestState {
+            agg: StreamingAggregator::new(self.cfg.aggregator, self.server.dim(), self.threads()),
+            ws: WorkingSet::default(),
+            next_chunk: 0,
+            chunk_size: self.chunk(),
+            threads: self.threads(),
+        };
+        self.resume_ingestion(pending, st, kill_after, tr)
+    }
+
+    /// Algorithm 1 lines 4–7 + 15–23: sample, train, sparsify, encrypt.
+    /// Everything this returns lives in *untrusted* server memory — it is
+    /// the part of a round that survives an enclave crash.
+    fn prepare_round(&mut self) -> PendingRound {
         let t = self.round;
         // Line 5: secure in-enclave sampling.
         let sampled = sample_clients(self.cfg.n_clients, self.cfg.sample_rate, &mut self.rng);
         self.enclave.begin_round(t, sampled.clone());
+        let base_floors = self.enclave.replay_floors();
 
         // Lines 7 + 15–23: local training, sparsify, clip, encrypt.
         let global = self.server.params();
@@ -269,38 +399,71 @@ impl OliveSystem {
             .zip(local_results.iter())
             .map(|(&user, sparse)| self.sessions[user as usize].seal_upload(t, &sparse.encode()))
             .collect();
-
-        // Lines 8–12: chunked verify/decrypt/fold under the adversary's
-        // tracer, with per-chunk EPC accounting.
-        let d = self.server.dim();
-        let threads = self.threads();
-        let chunk_size = self.chunk();
         let k = local_results.first().map(|u| u.k()).unwrap_or(0);
-        let mut agg = StreamingAggregator::new(self.cfg.aggregator, d, threads);
-        let mut ws = WorkingSet::default();
-        let mut resident = agg.resident_bytes();
-        ws.alloc(resident);
+        PendingRound { t, sampled, sealed, k, base_floors }
+    }
+
+    /// An honest Poisson sample is empty with probability `(1−q)^N`.
+    /// Before this short-circuit that shape reached `finalize` with
+    /// n = 0, where the linear average's 0/0 produced NaN deltas that
+    /// poisoned the global model. Zero participants mean zero privacy
+    /// loss, so DP mode adds no noise and composes nothing — the
+    /// accountant's running ε is simply re-reported.
+    fn finish_empty_round(&mut self, t: u64) -> RoundReport {
+        let delta = vec![0.0f32; self.server.dim()];
+        self.server.apply_aggregate(&delta);
+        let model_signature = self.sign_params(t);
+        self.round += 1;
+        RoundReport {
+            round: t,
+            processed_users: Vec::new(),
+            k_per_user: 0,
+            epsilon_spent: self.cfg.dp.map(|dp| self.accountant.epsilon(dp.delta)),
+            working_set_bytes: 0,
+            would_page: false,
+            model_signature,
+        }
+    }
+
+    /// Lines 8–12 (+ Algorithm 6 line 12 and line 14): chunked
+    /// verify/decrypt/fold under the adversary's tracer with per-chunk
+    /// EPC accounting, then finalize, noise, apply, sign. Entered at
+    /// chunk 0 by a fresh round and at `st.next_chunk` by
+    /// [`OliveSystem::restore_round`]; returns `None` only when
+    /// `kill_after` injects a crash.
+    fn resume_ingestion<TR: ParallelTracer>(
+        &mut self,
+        pending: PendingRound,
+        mut st: IngestState,
+        kill_after: Option<usize>,
+        tr: &mut TR,
+    ) -> Option<RoundReport> {
+        let t = pending.t;
+        let k = pending.k;
+        let threads = st.threads;
+        let mut resident = st.agg.resident_bytes();
+        st.ws.alloc(resident);
         self.enclave.epc.alloc(resident);
 
-        let msg_chunks: Vec<&[SealedMessage]> = sealed.chunks(chunk_size).collect();
+        let msg_chunks: Vec<&[SealedMessage]> = pending.sealed.chunks(st.chunk_size).collect();
         let mut staged: Vec<SparseGradient> = Vec::new();
         let mut staged_bytes = 0u64;
-        if let Some(first) = msg_chunks.first() {
+        if let Some(first) = msg_chunks.get(st.next_chunk) {
             staged_bytes = staged_chunk_bytes(first);
-            ws.alloc(staged_bytes);
+            st.ws.alloc(staged_bytes);
             self.enclave.epc.alloc(staged_bytes);
             staged = open_and_decode(&mut self.enclave, first);
         }
-        for i in 0..msg_chunks.len() {
+        for i in st.next_chunk..msg_chunks.len() {
             // Charge the transient ingest scratch, and — when
             // double-buffering — the next chunk's staging, both live
             // while this chunk folds.
-            let scratch = agg.ingest_scratch_bytes(staged.len(), k);
-            ws.alloc(scratch);
+            let scratch = st.agg.ingest_scratch_bytes(staged.len(), k);
+            st.ws.alloc(scratch);
             self.enclave.epc.alloc(scratch);
             let next_msgs = msg_chunks.get(i + 1).copied();
             let next_bytes = next_msgs.map(staged_chunk_bytes).unwrap_or(0);
-            ws.alloc(next_bytes);
+            st.ws.alloc(next_bytes);
             self.enclave.epc.alloc(next_bytes);
             let next = if let Some(msgs) = next_msgs {
                 if threads >= 2 {
@@ -316,45 +479,65 @@ impl OliveSystem {
                     // crypto-bound while the sorts are memory-bound, so
                     // the deliberate oversubscription overlaps well.
                     let enclave = &mut self.enclave;
+                    let agg = &mut st.agg;
                     std::thread::scope(|scope| {
                         let opener = scope.spawn(move || open_and_decode(enclave, msgs));
                         agg.ingest(&staged, tr);
                         opener.join().expect("upload opener thread must not panic")
                     })
                 } else {
-                    agg.ingest(&staged, tr);
+                    st.agg.ingest(&staged, tr);
                     open_and_decode(&mut self.enclave, msgs)
                 }
             } else {
-                agg.ingest(&staged, tr);
+                st.agg.ingest(&staged, tr);
                 Vec::new()
             };
-            ws.free(scratch);
+            st.ws.free(scratch);
             self.enclave.epc.free(scratch);
-            ws.free(staged_bytes);
+            st.ws.free(staged_bytes);
             self.enclave.epc.free(staged_bytes);
             staged_bytes = next_bytes;
             staged = next;
-            let now_resident = agg.resident_bytes();
-            ws.resize(resident, now_resident);
+            let now_resident = st.agg.resident_bytes();
+            st.ws.resize(resident, now_resident);
             self.enclave.epc.free(resident);
             self.enclave.epc.alloc(now_resident);
             resident = now_resident;
+
+            // Chunk i is folded: seal the restore point. Sealing touches
+            // only enclave-private state (seal counter, sealing key), so
+            // it emits no adversary-visible trace events — checkpoint
+            // cadence cannot perturb the bitwise trace contract.
+            if self.checkpoint {
+                self.seal_checkpoint(&pending, &st.agg, &mut st.ws, st.chunk_size, threads, i + 1);
+            }
+            if kill_after == Some(i) {
+                // The simulated crash: enclave memory — aggregator state,
+                // staged plaintexts, session keys, replay floors, seal
+                // counters — vanishes with the dying enclave. What
+                // survives is untrusted storage (the round's ciphertexts
+                // and the sealed checkpoint) plus the rollback-protected
+                // counter floor.
+                self.enclave = Enclave::launch(&self.enclave_cfg, self.seed_bytes);
+                self.pending = Some(pending);
+                return None;
+            }
         }
 
-        let fin_scratch = agg.finalize_scratch_bytes();
-        ws.alloc(fin_scratch);
+        let fin_scratch = st.agg.finalize_scratch_bytes();
+        st.ws.alloc(fin_scratch);
         self.enclave.epc.alloc(fin_scratch);
-        let mut delta = agg.finalize(tr);
-        ws.free(fin_scratch);
+        let mut delta = st.agg.finalize(tr);
+        st.ws.free(fin_scratch);
         self.enclave.epc.free(fin_scratch);
-        ws.free(resident);
+        st.ws.free(resident);
         self.enclave.epc.free(resident);
 
         // Algorithm 6 line 12: enclave-side Gaussian perturbation. The
         // finalize() above divides by the realized n; Algorithm 6 scales
         // by qN, so rescale before noising.
-        let n = sampled.len();
+        let n = pending.sampled.len();
         let epsilon_spent = if let Some(dp) = self.cfg.dp {
             let qn = (self.cfg.sample_rate * self.cfg.n_clients as f64) as f32;
             let rescale = n as f32 / qn.max(1.0);
@@ -371,24 +554,203 @@ impl OliveSystem {
 
         // Line 14: global update + enclave signature (Section 5.6).
         self.server.apply_aggregate(&delta);
+        let model_signature = self.sign_params(t);
+
+        self.round += 1;
+        // The round is durable in the model now; the checkpoint is dead
+        // weight. The floor stays pinned forever — monotone across rounds,
+        // so no stale blob can ever replay into a later round.
+        self.ckpt_store = None;
+        Some(RoundReport {
+            round: t,
+            processed_users: pending.sampled,
+            k_per_user: k,
+            epsilon_spent,
+            working_set_bytes: st.ws.peak,
+            would_page: st.ws.peak > self.enclave.epc.limit,
+            model_signature,
+        })
+    }
+
+    /// Serializes and seals the round's restore point under
+    /// [`CKPT_LABEL`], pins the rollback floor to its seal counter, and
+    /// parks the blob in (simulated) untrusted storage.
+    ///
+    /// The replay-floor snapshot covers the base floors plus exactly the
+    /// uploads of the `chunks_done` *folded* chunks. The double-buffered
+    /// opener may already have advanced the live enclave's floors past
+    /// chunk `chunks_done` (opened, not yet folded) — those uploads get
+    /// no entry, so after a restore their re-sends are accepted again
+    /// instead of being misclassified as replays. That
+    /// opened-but-not-folded gap was the crash-unsafety this checkpoint
+    /// scheme exists to fix.
+    fn seal_checkpoint(
+        &mut self,
+        pending: &PendingRound,
+        agg: &StreamingAggregator,
+        ws: &mut WorkingSet,
+        chunk_size: usize,
+        threads: usize,
+        chunks_done: usize,
+    ) {
+        let mut w = StateWriter::new();
+        w.put_u8(CKPT_VERSION);
+        w.put_u64(pending.t);
+        w.put_usize(chunks_done);
+        w.put_usize(pending.sealed.len());
+        w.put_usize(chunk_size);
+        w.put_usize(threads);
+        w.put_usize(pending.k);
+        // The DP/sampling generator is enclave state too: the post-restore
+        // noise draw must be the exact draw the uninterrupted round would
+        // have made.
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        let folded = (chunks_done * chunk_size).min(pending.sealed.len());
+        let mut floors: BTreeMap<UserId, u64> = pending.base_floors.iter().copied().collect();
+        for m in &pending.sealed[..folded] {
+            floors.insert(m.user, m.nonce_counter);
+        }
+        w.put_usize(floors.len());
+        for (u, c) in floors {
+            w.put_u32(u);
+            w.put_u64(c);
+        }
+        w.put_bytes(&agg.save_state());
+        let plain = w.into_bytes();
+
+        // The serialized state is enclave-resident while it is built and
+        // sealed; charge it like any other transient.
+        let transient = plain.len() as u64;
+        ws.alloc(transient);
+        self.enclave.epc.alloc(transient);
+        let sealed = self.enclave.seal(&plain, CKPT_LABEL);
+        ws.free(transient);
+        self.enclave.epc.free(transient);
+
+        let counter = u64::from_be_bytes(sealed[..8].try_into().expect("8-byte counter prefix"));
+        self.ckpt_floor = self.ckpt_floor.max(counter);
+        self.ckpt_store = Some(sealed);
+    }
+
+    /// Whether a killed round is awaiting [`OliveSystem::restore_round`].
+    pub fn interrupted(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Disables (or re-enables) per-chunk checkpoint sealing — the escape
+    /// hatch for measuring the overhead it adds, and for deployments that
+    /// prefer to re-run a crashed round from scratch.
+    pub fn set_checkpointing(&mut self, on: bool) {
+        self.checkpoint = on;
+    }
+
+    /// The newest sealed checkpoint as untrusted storage holds it (test
+    /// hook: what an attacker could copy).
+    pub fn checkpoint_blob(&self) -> Option<&[u8]> {
+        self.ckpt_store.as_deref()
+    }
+
+    /// Replaces the stored checkpoint blob (test hook: the
+    /// tamper/rollback attacker writing to untrusted storage).
+    pub fn set_checkpoint_blob(&mut self, blob: Vec<u8>) {
+        self.ckpt_store = Some(blob);
+    }
+
+    /// Recovers an interrupted round from the newest sealed checkpoint
+    /// and runs it to completion.
+    ///
+    /// The restore path re-does provisioning from scratch — exactly what
+    /// a crashed deployment does: relaunch the enclave (same platform
+    /// seed ⇒ same sealing key and DH keypair, so existing client
+    /// sessions stay valid), re-attest, re-register the session keys.
+    /// Then the checkpoint is unsealed against the rollback-protected
+    /// floor ([`TeeError::StaleSeal`] for an older genuine blob,
+    /// [`TeeError::AuthFailure`] for a tampered one), replay floors are
+    /// rewound to cover only *folded* uploads, the aggregator is rebuilt
+    /// from its serialized state, and ingestion continues from the next
+    /// chunk. Output and trace are bitwise identical to the uninterrupted
+    /// round. On error the interrupted round stays pending, so the caller
+    /// can repair storage and retry.
+    pub fn restore_round<TR: ParallelTracer>(
+        &mut self,
+        tr: &mut TR,
+    ) -> Result<RoundReport, TeeError> {
+        self.restore_round_inner(None, tr)
+            .map(|r| r.expect("restore completes when no kill point is injected"))
+    }
+
+    /// [`OliveSystem::restore_round`] with another crash injected after
+    /// chunk `kill_after` — lets tests exercise repeated kill/restore
+    /// cycles within one round. Returns `Ok(None)` when the kill fired.
+    pub fn restore_round_kill_after<TR: ParallelTracer>(
+        &mut self,
+        kill_after: usize,
+        tr: &mut TR,
+    ) -> Result<Option<RoundReport>, TeeError> {
+        self.restore_round_inner(Some(kill_after), tr)
+    }
+
+    fn restore_round_inner<TR: ParallelTracer>(
+        &mut self,
+        kill_after: Option<usize>,
+        tr: &mut TR,
+    ) -> Result<Option<RoundReport>, TeeError> {
+        assert!(self.pending.is_some(), "restore_round requires an interrupted round");
+        let blob =
+            self.ckpt_store.clone().expect("an interrupted round always has a checkpoint blob");
+
+        // Cold relaunch + re-provisioning.
+        self.enclave = Enclave::launch(&self.enclave_cfg, self.seed_bytes);
+        self.enclave.attest(&self.service, ATTEST_CONTEXT);
+        for s in &self.sessions {
+            self.enclave
+                .register_client(s.user(), s.dh_public())
+                .expect("the enclave re-attested above");
+        }
+
+        // Unseal against the pinned floor: stale (rolled-back) blobs and
+        // tampered blobs both fail here, leaving the round pending.
+        let plain = self.enclave.unseal_with_floor(&blob, CKPT_LABEL, self.ckpt_floor)?;
+        let ckpt = decode_checkpoint(&plain, self.pending.as_ref().expect("checked above"))
+            // An authenticated blob that decodes to the wrong shape means
+            // it was sealed for a different round than the pending one —
+            // treat it like any other unusable blob.
+            .map_err(|_| TeeError::AuthFailure)?;
+
+        let mut agg =
+            StreamingAggregator::new(self.cfg.aggregator, self.server.dim(), ckpt.threads);
+        agg.load_state(&ckpt.agg_state).map_err(|_| TeeError::AuthFailure)?;
+
+        let mut pending = self.pending.take().expect("checked above");
+        self.rng = SmallRng::from_state(ckpt.rng_state);
+        self.enclave.begin_round(pending.t, pending.sampled.clone());
+        self.enclave.restore_replay_floors(&ckpt.floors);
+        // Future checkpoints of this round rebuild their snapshots from
+        // the restored floors: unfolded users still carry their base
+        // entries there, folded users' overrides are permanent.
+        pending.base_floors = ckpt.floors;
+
+        let st = IngestState {
+            agg,
+            ws: WorkingSet::default(),
+            next_chunk: ckpt.chunks_done,
+            chunk_size: ckpt.chunk_size,
+            threads: ckpt.threads,
+        };
+        Ok(self.resume_ingestion(pending, st, kill_after, tr))
+    }
+
+    /// Signs `t ∥ θ` with the enclave's output key (Section 5.6).
+    fn sign_params(&mut self, t: u64) -> [u8; 32] {
         let new_params = self.server.params();
         let mut payload = Vec::with_capacity(new_params.len() * 4 + 8);
         payload.extend_from_slice(&t.to_be_bytes());
         for p in &new_params {
             payload.extend_from_slice(&p.to_bits().to_le_bytes());
         }
-        let model_signature = self.enclave.sign_output(&payload);
-
-        self.round += 1;
-        RoundReport {
-            round: t,
-            processed_users: sampled,
-            k_per_user: k,
-            epsilon_spent,
-            working_set_bytes: ws.peak,
-            would_page: ws.peak > self.enclave.epc.limit,
-            model_signature,
-        }
+        self.enclave.sign_output(&payload)
     }
 
     /// Local training for the sampled users, parallelized across threads
@@ -450,6 +812,44 @@ impl OliveSystem {
         }
         self.enclave.verify_output(&payload, sig)
     }
+}
+
+/// Parses a checkpoint blob's plaintext and validates it against the
+/// pending round it claims to resume: version, round counter, upload
+/// count and per-client k must all match, and the chunk geometry must be
+/// internally consistent.
+fn decode_checkpoint(plain: &[u8], pending: &PendingRound) -> Result<Checkpoint, StateError> {
+    let mut r = StateReader::new(plain);
+    if r.get_u8()? != CKPT_VERSION {
+        return Err(StateError::Mismatch);
+    }
+    if r.get_u64()? != pending.t {
+        return Err(StateError::Mismatch);
+    }
+    let chunks_done = r.get_usize()?;
+    if r.get_usize()? != pending.sealed.len() {
+        return Err(StateError::Mismatch);
+    }
+    let chunk_size = r.get_usize()?;
+    let threads = r.get_usize()?;
+    if r.get_usize()? != pending.k {
+        return Err(StateError::Mismatch);
+    }
+    let mut rng_state = [0u64; 4];
+    for word in &mut rng_state {
+        *word = r.get_u64()?;
+    }
+    let n_floors = r.get_usize()?;
+    let mut floors = Vec::with_capacity(n_floors.min(plain.len() / 12 + 1));
+    for _ in 0..n_floors {
+        floors.push((r.get_u32()?, r.get_u64()?));
+    }
+    let agg_state = r.get_bytes()?.to_vec();
+    r.expect_end()?;
+    if chunk_size == 0 || threads == 0 || chunks_done > pending.sealed.len().div_ceil(chunk_size) {
+        return Err(StateError::Corrupt);
+    }
+    Ok(Checkpoint { chunks_done, chunk_size, threads, rng_state, floors, agg_state })
 }
 
 /// Enclave-resident bytes of one *staged* upload chunk: the decoded
@@ -663,20 +1063,83 @@ mod tests {
         }
     }
 
-    /// EPC accounting is balanced (everything charged per chunk is freed)
-    /// and a smaller chunk size yields a no-larger working-set peak.
+    /// EPC accounting is balanced (everything charged per chunk is freed),
+    /// a smaller chunk size yields a no-larger working-set peak, and the
+    /// enclave's EPC high-water mark is **per round** (epoch-scoped by
+    /// `begin_round`), matching the round report exactly — not a lifetime
+    /// maximum that round 2 would inherit from round 1.
     #[test]
     fn streaming_epc_accounting_balances_and_bounds() {
         let peak = |chunk: usize| {
             let mut sys = tiny_system(AggregatorKind::NonOblivious, None);
             sys.set_threads(1);
             sys.set_chunk(chunk);
-            let report = sys.run_round(&mut NullTracer);
-            assert!(report.working_set_bytes > 0);
+            let r1 = sys.run_round(&mut NullTracer);
+            assert!(r1.working_set_bytes > 0);
             assert_eq!(sys.enclave.epc.live, 0, "all round allocations must be freed");
-            report.working_set_bytes
+            assert_eq!(
+                sys.enclave.epc.peak, r1.working_set_bytes,
+                "round-1 EPC peak must equal the report's working set"
+            );
+            // A second, differently-shaped round: its peak must stand on
+            // its own, not under round 1's shadow.
+            sys.set_chunk(1);
+            let r2 = sys.run_round(&mut NullTracer);
+            assert_eq!(sys.enclave.epc.live, 0);
+            assert_eq!(
+                sys.enclave.epc.peak, r2.working_set_bytes,
+                "round-2 EPC peak must reset to round 2's own working set"
+            );
+            r1.working_set_bytes
         };
         assert!(peak(1) <= peak(64), "smaller chunks must not increase the peak");
+    }
+
+    /// Regression pin for the empty-sample NaN bug: an honest Poisson
+    /// sample selects nobody with probability `(1−q)^N`; that round used
+    /// to reach `finalize` with n = 0, where the 0/0 average produced NaN
+    /// deltas that silently poisoned θ forever. The short-circuit must
+    /// leave the model bit-identical, sign it, and spend no extra ε.
+    #[test]
+    fn empty_sampled_round_is_a_finite_noop() {
+        let gen = Generator::new(SyntheticConfig::tiny(12, 4), 3);
+        let clients = partition(&gen, 8, LabelAssignment::Fixed(2), 10, 1);
+        let model = mlp(12, 6, 4, 0.0, 5);
+        let d = model.param_count();
+        let cfg = OliveConfig {
+            n_clients: 8,
+            sample_rate: 0.01, // ≈92% of rounds sample nobody
+            client: ClientConfig {
+                epochs: 1,
+                batch_size: 5,
+                lr: 0.1,
+                sparsifier: Sparsifier::TopK(d / 10),
+                clip: None,
+            },
+            aggregator: AggregatorKind::Advanced,
+            server_lr: 1.0,
+            dp: Some(DpConfig { sigma: 1.12, clip: 0.5, delta: 1e-5 }),
+            seed: 77,
+        };
+        let mut sys = OliveSystem::new(model, clients, cfg);
+        let mut saw_empty = false;
+        for _ in 0..12 {
+            let before = sys.global_params();
+            let report = sys.run_round(&mut NullTracer);
+            let after = sys.global_params();
+            assert!(after.iter().all(|x| x.is_finite()), "NaN/∞ leaked into θ");
+            if report.processed_users.is_empty() {
+                saw_empty = true;
+                assert_eq!(before, after, "an empty round must not move the model");
+                assert_eq!(report.k_per_user, 0);
+                assert_eq!(report.working_set_bytes, 0);
+                assert!(!report.would_page);
+                let eps = report.epsilon_spent.expect("dp mode still reports ε");
+                assert!(eps.is_finite(), "ε must stay finite with zero compositions");
+                assert!(sys.verify_model_signature(report.round, &after, &report.model_signature));
+            }
+        }
+        assert!(saw_empty, "q=0.01 over 12 rounds should hit an empty sample");
     }
 
     /// `would_page` compares against the *configured* EPC budget, not a

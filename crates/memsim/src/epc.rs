@@ -105,6 +105,13 @@ impl WorkingSet {
         self.live = self.live.saturating_sub(bytes);
     }
 
+    /// Starts a new accounting epoch: the peak is rewound to the live
+    /// set, so subsequent highs answer "what peaked *since* this point"
+    /// (e.g. per round) instead of over the whole lifetime.
+    pub fn begin_epoch(&mut self) {
+        self.peak = self.live;
+    }
+
     /// Adjusts the live set to a new size for a buffer that grew or shrank
     /// in place (an accumulator that buffers cells across chunks): frees
     /// `old` and allocates `new` as one event, so the peak never counts
@@ -259,6 +266,19 @@ mod tests {
         assert_eq!(ws.peak, 100, "resize must not double-count the old buffer");
         ws.resize(90, 150);
         assert_eq!(ws.peak, 150);
+    }
+
+    #[test]
+    fn working_set_epoch_rewinds_peak_to_live() {
+        let mut ws = WorkingSet::default();
+        ws.alloc(100);
+        ws.free(80);
+        ws.begin_epoch();
+        assert_eq!(ws.peak, 20, "epoch peak starts at the surviving live set");
+        ws.alloc(30);
+        ws.free(30);
+        assert_eq!(ws.peak, 50, "peak now answers per-epoch, not lifetime");
+        assert_eq!(ws.live, 20);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub mod buf;
 pub mod cache;
 pub mod check;
+pub mod codec;
 pub mod digest;
 pub mod epc;
 pub mod threads;
@@ -38,6 +39,7 @@ pub mod tracer;
 pub use buf::TrackedBuf;
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use check::{assert_not_oblivious, assert_oblivious, trace_of};
+pub use codec::{StateError, StateReader, StateWriter};
 pub use digest::TraceDigest;
 pub use epc::{CostModel, EpcSim, EpcStats, SgxCostEstimate, WorkingSet};
 pub use threads::default_threads;

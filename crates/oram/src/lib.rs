@@ -27,5 +27,5 @@
 pub mod path_oram;
 pub mod posmap;
 
-pub use path_oram::{OramStats, PathOram, PathOramConfig, BUCKET_SIZE, INVALID_KEY};
+pub use path_oram::{BlockCodec, OramStats, PathOram, PathOramConfig, BUCKET_SIZE, INVALID_KEY};
 pub use posmap::{PosBlock, PosMapKind, POS_BLOCK_FANOUT};

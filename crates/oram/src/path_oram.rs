@@ -1,11 +1,30 @@
 //! PathORAM with oblivious stash operations (ZeroTrace construction).
 
-use olive_memsim::{Tracer, TrackedBuf};
+use olive_memsim::{StateError, StateReader, StateWriter, Tracer, TrackedBuf};
 use olive_oblivious::primitives::Oblivious;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::posmap::{PosMap, PosMapKind};
+
+/// Fixed-width serialization for ORAM block values, so a whole ORAM
+/// (tree, stash, position map, path RNG) can be snapshotted into a
+/// sealed checkpoint and restored bit-exactly.
+pub trait BlockCodec: Sized {
+    /// Append this value's encoding. Must be fixed-width per type.
+    fn encode_into(&self, w: &mut StateWriter);
+    /// Decode one value back.
+    fn decode_from(r: &mut StateReader<'_>) -> Result<Self, StateError>;
+}
+
+impl BlockCodec for u64 {
+    fn encode_into(&self, w: &mut StateWriter) {
+        w.put_u64(*self);
+    }
+    fn decode_from(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        r.get_u64()
+    }
+}
 
 /// Blocks per bucket (the standard Z = 4).
 pub const BUCKET_SIZE: usize = 4;
@@ -233,6 +252,76 @@ impl<V: Oblivious + Default> PathOram<V> {
     }
 }
 
+impl<V: Oblivious + Default + BlockCodec> PathOram<V> {
+    /// Serializes the complete ORAM state — tree, stash, position map,
+    /// path RNG, and counters — for a sealed checkpoint. Loading the
+    /// blob into a freshly built ORAM of the *same configuration*
+    /// reproduces the snapshotted instance exactly: every subsequent
+    /// access returns the same value and emits the same trace.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        self.save_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores state captured by [`PathOram::save_state`] into this
+    /// instance. `self` must have been built with the same
+    /// configuration (capacity, stash limit, position-map strategy);
+    /// a blob from a differently shaped ORAM fails with
+    /// [`StateError::Mismatch`]. Restoration is untraced: unsealing a
+    /// checkpoint is bulk I/O outside the adversary-observed window.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        self.load_from(&mut r)?;
+        r.expect_end()
+    }
+
+    pub(crate) fn save_into(&self, w: &mut StateWriter) {
+        w.put_usize(self.config.capacity);
+        w.put_u32(self.leaves);
+        w.put_u32(self.levels);
+        for buf in [&self.tree, &self.stash] {
+            w.put_usize(buf.len());
+            for (meta, value) in buf.as_slice_untraced() {
+                w.put_u64(*meta);
+                value.encode_into(w);
+            }
+        }
+        self.posmap.save_into(w);
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_u64(self.stats.accesses);
+        w.put_usize(self.stats.max_stash_occupancy);
+    }
+
+    pub(crate) fn load_from(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        if r.get_usize()? != self.config.capacity
+            || r.get_u32()? != self.leaves
+            || r.get_u32()? != self.levels
+        {
+            return Err(StateError::Mismatch);
+        }
+        for buf in [&mut self.tree, &mut self.stash] {
+            if r.get_usize()? != buf.len() {
+                return Err(StateError::Mismatch);
+            }
+            for slot in buf.as_mut_slice_untraced() {
+                *slot = (r.get_u64()?, V::decode_from(r)?);
+            }
+        }
+        self.posmap.load_from(r)?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.get_u64()?;
+        }
+        self.rng = SmallRng::from_state(rng_state);
+        self.stats.accesses = r.get_u64()?;
+        self.stats.max_stash_occupancy = r.get_usize()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +464,53 @@ mod tests {
         for (k, v) in model.into_iter().take(32) {
             assert_eq!(o.read(k, &mut NullTracer), v, "key {k}");
         }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_exactly() {
+        // Snapshot mid-stream, restore into a *fresh* same-config ORAM,
+        // then drive both with identical operations: values AND traces
+        // must match (the restored RNG continues the same path stream).
+        for posmap in [PosMapKind::Trusted, PosMapKind::LinearScan, PosMapKind::Recursive] {
+            let capacity = 300; // recursive: 19 blocks > 16 → a real inner ORAM
+            let cfg = PathOramConfig { capacity, stash_limit: 40, posmap, region_base: 10 };
+            let mut a = PathOram::<u64>::new(cfg, 77);
+            let mut rng = SmallRng::seed_from_u64(3);
+            for _ in 0..40 {
+                let key = rng.gen_range(0..capacity as u32);
+                a.write(key, key as u64 + 1000, &mut NullTracer);
+            }
+            let blob = a.save_state();
+            let mut b = PathOram::<u64>::new(cfg, 12345); // seed irrelevant post-load
+            b.load_state(&blob).unwrap();
+            assert_eq!(b.stats().accesses, a.stats().accesses);
+            let mut tra = RecordingTracer::new(Granularity::Element);
+            let mut trb = RecordingTracer::new(Granularity::Element);
+            for _ in 0..30 {
+                let key = rng.gen_range(0..capacity as u32);
+                assert_eq!(
+                    a.update(key, |v| v ^ 7, &mut tra),
+                    b.update(key, |v| v ^ 7, &mut trb),
+                    "{posmap:?} value divergence after restore"
+                );
+            }
+            assert_eq!(tra.digest(), trb.digest(), "{posmap:?} trace divergence after restore");
+        }
+    }
+
+    #[test]
+    fn state_blob_shape_mismatch_rejected() {
+        let a = oram(64, PosMapKind::LinearScan, 1);
+        let blob = a.save_state();
+        // Different capacity.
+        let mut b = oram(32, PosMapKind::LinearScan, 1);
+        assert_eq!(b.load_state(&blob), Err(olive_memsim::StateError::Mismatch));
+        // Different posmap strategy.
+        let mut c = oram(64, PosMapKind::Trusted, 1);
+        assert_eq!(c.load_state(&blob), Err(olive_memsim::StateError::Mismatch));
+        // Truncation.
+        let mut d = oram(64, PosMapKind::LinearScan, 2);
+        assert_eq!(d.load_state(&blob[..blob.len() - 1]), Err(olive_memsim::StateError::Truncated));
     }
 
     use rand::rngs::SmallRng;

@@ -1,8 +1,10 @@
 //! Position-map strategies for PathORAM under SGX.
 
-use olive_memsim::{Tracer, TrackedBuf};
+use olive_memsim::{StateError, StateReader, StateWriter, Tracer, TrackedBuf};
 use olive_oblivious::primitives::Oblivious;
 use olive_oblivious::scan::o_scan_update;
+
+use crate::path_oram::BlockCodec;
 
 /// Number of leaf positions packed into one recursive position-map block.
 /// 16 × u32 = 64 bytes = one cacheline, matching ZeroTrace's layout.
@@ -15,6 +17,21 @@ pub struct PosBlock(pub [u32; POS_BLOCK_FANOUT]);
 impl Default for PosBlock {
     fn default() -> Self {
         PosBlock([0; POS_BLOCK_FANOUT])
+    }
+}
+
+impl BlockCodec for PosBlock {
+    fn encode_into(&self, w: &mut StateWriter) {
+        for &x in &self.0 {
+            w.put_u32(x);
+        }
+    }
+    fn decode_from(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let mut out = [0u32; POS_BLOCK_FANOUT];
+        for x in &mut out {
+            *x = r.get_u32()?;
+        }
+        Ok(PosBlock(out))
     }
 }
 
@@ -104,6 +121,52 @@ impl PosMap {
                 }
                 PosMap::Recursive(Box::new(oram))
             }
+        }
+    }
+
+    /// Serializes the map for a sealed checkpoint (tag + payload;
+    /// recursive maps recurse into the inner ORAM's serializer).
+    pub(crate) fn save_into(&self, w: &mut StateWriter) {
+        match self {
+            PosMap::Trusted(v) => {
+                w.put_u8(0);
+                w.put_u32s(v);
+            }
+            PosMap::Linear(buf) => {
+                w.put_u8(1);
+                w.put_u32s(buf.as_slice_untraced());
+            }
+            PosMap::Recursive(oram) => {
+                w.put_u8(2);
+                oram.save_into(w);
+            }
+        }
+    }
+
+    /// Restores state captured by [`PosMap::save_into`]. The map must
+    /// already be of the same variant and size (same build config).
+    pub(crate) fn load_from(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let tag = r.get_u8()?;
+        match (tag, self) {
+            (0, PosMap::Trusted(v)) => {
+                let leaves = r.get_u32s()?;
+                if leaves.len() != v.len() {
+                    return Err(StateError::Mismatch);
+                }
+                *v = leaves;
+                Ok(())
+            }
+            (1, PosMap::Linear(buf)) => {
+                let leaves = r.get_u32s()?;
+                if leaves.len() != buf.len() {
+                    return Err(StateError::Mismatch);
+                }
+                buf.as_mut_slice_untraced().copy_from_slice(&leaves);
+                Ok(())
+            }
+            (2, PosMap::Recursive(oram)) => oram.load_from(r),
+            (0..=2, _) => Err(StateError::Mismatch),
+            _ => Err(StateError::Corrupt),
         }
     }
 

@@ -137,7 +137,7 @@ mod tests {
         let m = enclave.measurement();
         let mut client =
             ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
-        enclave.register_client(17, client.dh_public());
+        enclave.register_client(17, client.dh_public()).unwrap();
         enclave.begin_round(0, vec![17, 18]);
 
         let msg = client.seal_upload(0, b"sparse-gradient-bytes");
@@ -150,7 +150,7 @@ mod tests {
         let m = enclave.measurement();
         let mut client =
             ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
-        enclave.register_client(17, client.dh_public());
+        enclave.register_client(17, client.dh_public()).unwrap();
         enclave.begin_round(0, vec![18]);
         let msg = client.seal_upload(0, b"x");
         assert_eq!(enclave.open_upload(&msg).unwrap_err(), TeeError::NotSampled);
@@ -173,7 +173,7 @@ mod tests {
         let m = enclave.measurement();
         let mut client =
             ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
-        enclave.register_client(17, client.dh_public());
+        enclave.register_client(17, client.dh_public()).unwrap();
         enclave.begin_round(0, vec![17]);
         let msg = client.seal_upload(0, b"x");
         assert!(enclave.open_upload(&msg).is_ok());
@@ -186,7 +186,7 @@ mod tests {
         let m = enclave.measurement();
         let mut client =
             ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
-        enclave.register_client(17, client.dh_public());
+        enclave.register_client(17, client.dh_public()).unwrap();
         enclave.begin_round(0, vec![17]);
         let mut msg = client.seal_upload(0, b"x");
         msg.ciphertext[0] ^= 1;
@@ -199,7 +199,7 @@ mod tests {
         let m = enclave.measurement();
         let mut client =
             ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
-        enclave.register_client(17, client.dh_public());
+        enclave.register_client(17, client.dh_public()).unwrap();
         enclave.begin_round(3, vec![17]);
         // A payload sealed for round 2 authenticates (its AAD is
         // self-consistent) but must be rejected as stale.
@@ -221,7 +221,7 @@ mod tests {
                 let c =
                     ClientSession::establish(u, service.public_key(), &m, &quote, [u as u8; 32])
                         .unwrap();
-                enclave.register_client(u, c.dh_public());
+                enclave.register_client(u, c.dh_public()).unwrap();
                 c
             })
             .collect();
@@ -256,14 +256,14 @@ mod tests {
         let m = enclave.measurement();
         let mut c =
             ClientSession::establish(7, service.public_key(), &m, &quote, [1u8; 32]).unwrap();
-        enclave.register_client(7, c.dh_public());
+        enclave.register_client(7, c.dh_public()).unwrap();
         enclave.begin_round(0, vec![7]);
         let msgs: Vec<SealedMessage> = (0..3).map(|i| c.seal_upload(0, &[i as u8])).collect();
         // Serial reference on a second enclave with the same platform seed
         // and attestation transcript (hence the same session keys).
         let mut enclave2 = Enclave::launch(&EnclaveConfig::default(), [7u8; 32]);
         let _ = enclave2.attest(&service, b"test");
-        enclave2.register_client(7, c.dh_public());
+        enclave2.register_client(7, c.dh_public()).unwrap();
         enclave2.begin_round(0, vec![7]);
         let batch = enclave.open_upload_batch(&msgs);
         for (msg, got) in msgs.iter().zip(batch) {
@@ -281,8 +281,8 @@ mod tests {
             ClientSession::establish(17, service.public_key(), &m, &quote, [5u8; 32]).unwrap();
         let c18 =
             ClientSession::establish(18, service.public_key(), &m, &quote, [6u8; 32]).unwrap();
-        enclave.register_client(17, c17.dh_public());
-        enclave.register_client(18, c18.dh_public());
+        enclave.register_client(17, c17.dh_public()).unwrap();
+        enclave.register_client(18, c18.dh_public()).unwrap();
         enclave.begin_round(0, vec![17, 18]);
         let mut msg = c17.seal_upload(0, b"secret");
         msg.user = 18; // server tries to attribute the payload to user 18

@@ -33,6 +33,14 @@ pub enum TeeError {
     /// premature message; its AAD would still authenticate, so this is an
     /// explicit freshness check, not a crypto failure).
     WrongRound,
+    /// A session operation was attempted before [`Enclave::attest`]: the
+    /// transcript salt that binds session keys to the attestation
+    /// evidence does not exist yet, so keys derived now would lose
+    /// channel binding.
+    NotAttested,
+    /// A sealed blob authenticated correctly but its monotonic counter is
+    /// below the caller's pinned floor — a rollback to stale state.
+    StaleSeal,
 }
 
 impl core::fmt::Display for TeeError {
@@ -44,6 +52,8 @@ impl core::fmt::Display for TeeError {
             TeeError::EpcExceeded => "enclave working set exceeds EPC budget",
             TeeError::Replay => "nonce replay detected",
             TeeError::WrongRound => "upload names a round other than the one in progress",
+            TeeError::NotAttested => "enclave has not attested (no transcript to bind keys to)",
+            TeeError::StaleSeal => "sealed blob is older than the pinned rollback floor",
         };
         write!(f, "{s}")
     }
@@ -102,6 +112,13 @@ impl EpcBudget {
     pub fn would_page(&self) -> bool {
         self.peak > self.limit
     }
+
+    /// Starts a new accounting epoch: rewinds the peak to the live set,
+    /// so `peak`/[`EpcBudget::would_page`] answer "since this point"
+    /// (per round, via [`Enclave::begin_round`]) instead of lifetime.
+    pub fn begin_epoch(&mut self) {
+        self.peak = self.live;
+    }
 }
 
 /// The simulated enclave.
@@ -134,6 +151,9 @@ pub struct Enclave {
     /// The crypto backend servicing every seal/open/MAC in this enclave.
     engine: CryptoEngine,
     transcript_salt: [u8; 32],
+    /// Set by [`Enclave::attest`]; registration is refused before it so a
+    /// session key can never silently bind to the all-zeros salt.
+    attested: bool,
 }
 
 impl Enclave {
@@ -162,6 +182,7 @@ impl Enclave {
             epc: EpcBudget { limit: config.epc_bytes, ..Default::default() },
             engine,
             transcript_salt: [0u8; 32],
+            attested: false,
         }
     }
 
@@ -184,13 +205,22 @@ impl Enclave {
             user_data: user_data.to_vec(),
         };
         self.transcript_salt = report.transcript_hash();
+        self.attested = true;
         service.quote(report)
     }
 
     /// Completes the RA key exchange for one client: derives and stores the
     /// session key from the client's DH public value (enclave side of
     /// Algorithm 1 line 1).
-    pub fn register_client(&mut self, user: UserId, client_dh_public: u64) {
+    ///
+    /// Fails with [`TeeError::NotAttested`] before [`Enclave::attest`]:
+    /// the session key mixes in the attestation transcript hash, and
+    /// deriving it from the launch-time all-zeros salt would silently
+    /// drop the channel's binding to the attestation evidence.
+    pub fn register_client(&mut self, user: UserId, client_dh_public: u64) -> Result<(), TeeError> {
+        if !self.attested {
+            return Err(TeeError::NotAttested);
+        }
         let shared = self.dh.shared_secret(client_dh_public);
         let key: [u8; 32] = self
             .engine
@@ -198,6 +228,7 @@ impl Enclave {
             .try_into()
             .expect("hkdf returns requested length");
         self.keystore.insert(user, key);
+        Ok(())
     }
 
     /// Number of registered clients.
@@ -207,10 +238,34 @@ impl Enclave {
 
     /// Sets the round counter and sampled user set for the round now in
     /// progress (the enclave memorizes `t` and `Q_t`; Algorithm 1 line 5).
+    /// Also opens a fresh EPC accounting epoch, so `epc.peak` and
+    /// [`EpcBudget::would_page`] answer "did *this* round page" rather
+    /// than aggregating over the enclave's lifetime.
     pub fn begin_round(&mut self, round: u64, sampled: Vec<UserId>) {
         self.current_round = round;
         self.round_sample_set = sampled.iter().copied().collect();
         self.round_sample = sampled;
+        self.epc.begin_epoch();
+    }
+
+    /// Overwrites the replay floors from a checkpoint's snapshot (the
+    /// crash-restore path). The snapshot covers exactly the uploads whose
+    /// chunks were *folded* before the checkpoint: uploads the crashed
+    /// enclave had opened but not folded (the double-buffered next chunk)
+    /// get no entry, so their legitimate re-sends are accepted again,
+    /// while folded uploads still hit [`TeeError::Replay`].
+    pub fn restore_replay_floors(&mut self, floors: &[(UserId, u64)]) {
+        self.last_nonce = floors.iter().copied().collect();
+    }
+
+    /// Snapshot of the per-user replay floors, sorted by user id — the
+    /// deterministic order a sealed checkpoint needs so that identical
+    /// enclave state serializes to identical bytes.
+    pub fn replay_floors(&self) -> Vec<(UserId, u64)> {
+        let mut floors: Vec<(UserId, u64)> =
+            self.last_nonce.iter().map(|(&u, &c)| (u, c)).collect();
+        floors.sort_unstable_by_key(|&(u, _)| u);
+        floors
     }
 
     /// The current round's sample (read-only).
@@ -316,6 +371,28 @@ impl Enclave {
         Ok(plain)
     }
 
+    /// [`Enclave::unseal`] plus rollback protection: the caller supplies
+    /// the counter floor it pinned in rollback-protected platform storage
+    /// (which, unlike enclave memory, survives a crash), and a blob whose
+    /// counter is *below* that floor is rejected as [`TeeError::StaleSeal`]
+    /// even though it authenticates — it is genuine enclave state, just
+    /// not the newest, and replaying it would rewind replay floors past
+    /// uploads that were already folded. Authentication runs first so
+    /// tampering still reports [`TeeError::AuthFailure`].
+    pub fn unseal_with_floor(
+        &mut self,
+        sealed: &[u8],
+        label: &[u8],
+        floor: u64,
+    ) -> Result<Vec<u8>, TeeError> {
+        let plain = self.unseal(sealed, label)?;
+        let counter = u64::from_be_bytes(sealed[..8].try_into().expect("checked by unseal"));
+        if counter < floor {
+            return Err(TeeError::StaleSeal);
+        }
+        Ok(plain)
+    }
+
     /// Signs bytes with a key only the enclave holds, so clients can verify
     /// the aggregated model was produced inside the enclave (the
     /// malicious-server defense discussed in Section 5.6).
@@ -383,10 +460,70 @@ mod tests {
         let cfg = EnclaveConfig::default();
         let a = Enclave::launch(&cfg, [1; 32]);
         let b = Enclave::launch(&cfg, [2; 32]);
-        assert_eq!(a.measurement(), b.measurement(), "measurement is code identity only");
+        // The measurement binds the whole static config — code identity
+        // AND the EPC size (`measure(code_identity, epc_bytes)`) — but
+        // never the platform seed, which only keys sealing/DH.
+        assert_eq!(a.measurement(), b.measurement(), "platform seed must not enter measurement");
         let cfg2 = EnclaveConfig { code_identity: "different".into(), ..Default::default() };
         let c = Enclave::launch(&cfg2, [1; 32]);
-        assert_ne!(a.measurement(), c.measurement());
+        assert_ne!(a.measurement(), c.measurement(), "code identity is measured");
+        let cfg3 = EnclaveConfig { epc_bytes: 128 << 20, ..Default::default() };
+        let d = Enclave::launch(&cfg3, [1; 32]);
+        assert_ne!(a.measurement(), d.measurement(), "EPC size is measured too");
+    }
+
+    #[test]
+    fn register_before_attest_is_refused() {
+        let mut e = Enclave::launch(&EnclaveConfig::default(), [6; 32]);
+        assert_eq!(e.register_client(7, 12345).unwrap_err(), TeeError::NotAttested);
+        assert_eq!(e.registered_clients(), 0, "refused registration must not store a key");
+        let service = AttestationService::new([6; 32]);
+        e.attest(&service, b"ctx");
+        e.register_client(7, 12345).expect("registration valid after attestation");
+        assert_eq!(e.registered_clients(), 1);
+    }
+
+    #[test]
+    fn epc_epoch_resets_peak_per_round() {
+        let mut e = Enclave::launch(&EnclaveConfig::default(), [6; 32]);
+        e.epc.alloc(500);
+        e.epc.free(500);
+        assert_eq!(e.epc.peak, 500);
+        e.begin_round(1, vec![]);
+        assert_eq!(e.epc.peak, 0, "begin_round opens a fresh accounting epoch");
+        e.epc.alloc(90);
+        e.epc.free(90);
+        e.begin_round(2, vec![]);
+        e.epc.alloc(40);
+        assert_eq!(e.epc.peak, 40, "round 2's peak is not shadowed by round 1's");
+        e.epc.free(40);
+    }
+
+    /// Rollback protection: an *older* authentic blob must be rejected
+    /// when the caller pins the newest counter as the floor.
+    #[test]
+    fn rolled_back_seal_rejected_against_pinned_floor() {
+        let mut e = Enclave::launch(&EnclaveConfig::default(), [3; 32]);
+        let gen1 = e.seal(b"generation-1", b"model");
+        let gen2 = e.seal(b"generation-2", b"model");
+        let pinned = u64::from_be_bytes(gen2[..8].try_into().unwrap());
+        // A relaunched enclave (fresh counters) + the pinned floor: the
+        // newest blob loads, the rolled-back one is stale, and tampering
+        // is still an auth failure, not staleness.
+        let mut e2 = Enclave::launch(&EnclaveConfig::default(), [3; 32]);
+        assert_eq!(e2.unseal_with_floor(&gen2, b"model", pinned).unwrap(), b"generation-2");
+        assert_eq!(
+            e2.unseal_with_floor(&gen1, b"model", pinned).unwrap_err(),
+            TeeError::StaleSeal,
+            "rollback to generation-1 must fail"
+        );
+        let mut tampered = gen2.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 1;
+        assert_eq!(
+            e2.unseal_with_floor(&tampered, b"model", pinned).unwrap_err(),
+            TeeError::AuthFailure
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ fn main() {
     let mut client =
         ClientSession::establish(42, service.public_key(), &expected, &quote, [3u8; 32])
             .expect("genuine enclave must verify");
-    enclave.register_client(42, client.dh_public());
+    enclave
+        .register_client(42, client.dh_public())
+        .expect("enclave attested above, registration is permitted");
     println!("client 42: attestation OK, session key established");
 
     // Round 0: encrypted gradient upload.

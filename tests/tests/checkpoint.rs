@@ -1,0 +1,196 @@
+//! Crash-safe rounds: kill-and-restore fidelity, replay-floor rewinding,
+//! and checkpoint tamper/rollback rejection.
+//!
+//! The hard bar these tests pin: a round killed after *any* chunk and
+//! restored from its sealed checkpoint must be **bitwise identical** — in
+//! the global model, the enclave signature, and the adversary-visible
+//! trace digest — to the same round run uninterrupted. One
+//! `RecordingTracer` spans the kill and the restore, so any extra or
+//! missing adversary-visible access would break the digest.
+
+use olive_core::aggregation::AggregatorKind;
+use olive_core::olive::{DpConfig, OliveSystem, RoundReport};
+use olive_integration_tests::small_system;
+use olive_memsim::{Granularity, RecordingTracer, TraceDigest};
+use olive_tee::TeeError;
+
+/// Runs one uninterrupted round and returns (params, digest, report).
+fn uninterrupted(
+    kind: AggregatorKind,
+    dp: Option<DpConfig>,
+    seed: u64,
+    chunk: usize,
+    threads: usize,
+) -> (Vec<f32>, TraceDigest, RoundReport) {
+    let (mut sys, _) = small_system(kind, dp, seed);
+    sys.set_threads(threads);
+    sys.set_chunk(chunk);
+    let mut tr = RecordingTracer::new(Granularity::Element);
+    let report = sys.run_round(&mut tr);
+    (sys.global_params(), tr.digest(), report)
+}
+
+fn fresh(
+    kind: AggregatorKind,
+    dp: Option<DpConfig>,
+    seed: u64,
+    chunk: usize,
+    threads: usize,
+) -> OliveSystem {
+    let (mut sys, _) = small_system(kind, dp, seed);
+    sys.set_threads(threads);
+    sys.set_chunk(chunk);
+    sys
+}
+
+fn assert_bitwise_eq(a: &[f32], b: &[f32], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: params diverge at {i}: {x} vs {y}");
+    }
+}
+
+/// Kill after chunk i ∈ {0, 1, mid, last} × three aggregator kinds ×
+/// chunk sizes {1, 7, 64}. Restored rounds must match the uninterrupted
+/// round bitwise in output, signature, and trace digest.
+///
+/// This matrix also exercises replay-floor rewinding implicitly: with the
+/// double-buffered opener, the chunk after the kill point was already
+/// *opened* (replay floors advanced) but never folded when the enclave
+/// died. If the restore did not rewind the floors to the checkpoint's
+/// folded-prefix snapshot, re-opening those same ciphertexts would be
+/// misclassified as a replay and the restore would abort.
+#[test]
+fn kill_and_restore_is_bitwise_identical() {
+    let seed = 41;
+    let threads = 2; // double-buffered opening: the historical crash bug
+    for kind in
+        [AggregatorKind::NonOblivious, AggregatorKind::Grouped { h: 3 }, AggregatorKind::Advanced]
+    {
+        for chunk in [1usize, 7, 64] {
+            let (ref_params, ref_digest, ref_report) =
+                uninterrupted(kind, None, seed, chunk, threads);
+            let n_chunks = ref_report.processed_users.len().div_ceil(chunk);
+            assert!(n_chunks >= 1, "fixture rounds are non-empty");
+            let mut kill_points = vec![0, 1, n_chunks / 2, n_chunks - 1];
+            kill_points.retain(|&kp| kp < n_chunks);
+            kill_points.dedup();
+            for kp in kill_points {
+                let ctx = format!("kind={kind:?} chunk={chunk} kill_after={kp}");
+                let mut sys = fresh(kind, None, seed, chunk, threads);
+                let mut tr = RecordingTracer::new(Granularity::Element);
+                let killed = sys.run_round_kill_after(kp, &mut tr);
+                assert!(killed.is_none(), "{ctx}: kill point must interrupt the round");
+                assert!(sys.interrupted(), "{ctx}: round must be pending");
+                let report = sys.restore_round(&mut tr).expect("restore must succeed");
+                assert!(!sys.interrupted(), "{ctx}: restore clears the pending round");
+                assert_bitwise_eq(&sys.global_params(), &ref_params, &ctx);
+                assert_eq!(tr.digest(), ref_digest, "{ctx}: trace digest diverged");
+                assert_eq!(report.round, ref_report.round, "{ctx}");
+                assert_eq!(report.processed_users, ref_report.processed_users, "{ctx}");
+                assert_eq!(report.k_per_user, ref_report.k_per_user, "{ctx}");
+                assert_eq!(report.model_signature, ref_report.model_signature, "{ctx}");
+            }
+        }
+    }
+}
+
+/// The checkpoint carries the enclave's RNG state, so the post-restore
+/// Gaussian noise draw is the exact draw the uninterrupted round makes —
+/// DP rounds restore bitwise too.
+#[test]
+fn kill_and_restore_preserves_dp_noise_bits() {
+    let dp = Some(DpConfig { sigma: 1.1, clip: 0.5, delta: 1e-5 });
+    let kind = AggregatorKind::Advanced;
+    let (ref_params, ref_digest, ref_report) = uninterrupted(kind, dp, 13, 2, 1);
+    let mut sys = fresh(kind, dp, 13, 2, 1);
+    let mut tr = RecordingTracer::new(Granularity::Element);
+    assert!(sys.run_round_kill_after(0, &mut tr).is_none());
+    let report = sys.restore_round(&mut tr).expect("restore must succeed");
+    assert_bitwise_eq(&sys.global_params(), &ref_params, "dp restore");
+    assert_eq!(tr.digest(), ref_digest);
+    assert_eq!(report.epsilon_spent, ref_report.epsilon_spent, "ε composition must match");
+}
+
+/// A bit flipped anywhere in the sealed blob must fail authentication;
+/// putting the genuine blob back lets the round finish identically.
+#[test]
+fn tampered_checkpoint_is_rejected_and_recoverable() {
+    let kind = AggregatorKind::Grouped { h: 3 };
+    let (ref_params, ref_digest, _) = uninterrupted(kind, None, 5, 3, 1);
+    let mut sys = fresh(kind, None, 5, 3, 1);
+    let mut tr = RecordingTracer::new(Granularity::Element);
+    assert!(sys.run_round_kill_after(1, &mut tr).is_none());
+    let good = sys.checkpoint_blob().expect("a killed round leaves a blob").to_vec();
+
+    let mut evil = good.clone();
+    let mid = evil.len() / 2;
+    evil[mid] ^= 0x40;
+    sys.set_checkpoint_blob(evil);
+    assert_eq!(sys.restore_round(&mut tr).unwrap_err(), TeeError::AuthFailure);
+    assert!(sys.interrupted(), "a failed restore leaves the round pending");
+
+    sys.set_checkpoint_blob(good);
+    let _ = sys.restore_round(&mut tr).expect("genuine blob restores");
+    assert_bitwise_eq(&sys.global_params(), &ref_params, "post-tamper recovery");
+    assert_eq!(tr.digest(), ref_digest);
+}
+
+/// A *genuine but older* checkpoint — the rollback attack — must be
+/// rejected against the pinned counter floor, and seal counters must be
+/// strictly monotone across kill/restore cycles and rounds (the
+/// nonce-non-reuse invariant: every sealed blob draws a fresh counter,
+/// even from a relaunched enclave that lost its in-memory counters).
+#[test]
+fn rolled_back_checkpoint_is_rejected() {
+    let counter_of = |blob: &[u8]| u64::from_be_bytes(blob[..8].try_into().unwrap());
+    let kind = AggregatorKind::NonOblivious;
+    let mut sys = fresh(kind, None, 29, 1, 1);
+    let mut tr = RecordingTracer::new(Granularity::Element);
+
+    // Kill after chunk 0 → blob A; restore and kill again after chunk 1
+    // → blob B with a strictly larger counter.
+    assert!(sys.run_round_kill_after(0, &mut tr).is_none());
+    let blob_a = sys.checkpoint_blob().unwrap().to_vec();
+    assert!(sys.restore_round_kill_after(1, &mut tr).expect("restore succeeds").is_none());
+    let blob_b = sys.checkpoint_blob().unwrap().to_vec();
+    assert!(
+        counter_of(&blob_b) > counter_of(&blob_a),
+        "the relaunched enclave must not reuse a seal counter: {} vs {}",
+        counter_of(&blob_b),
+        counter_of(&blob_a)
+    );
+
+    // Rollback: untrusted storage presents the older (authentic!) blob.
+    sys.set_checkpoint_blob(blob_a);
+    assert_eq!(sys.restore_round(&mut tr).unwrap_err(), TeeError::StaleSeal);
+    assert!(sys.interrupted(), "the rolled-back round stays pending");
+
+    // The newest blob still restores, and the next round's checkpoints
+    // keep climbing (floor monotone across rounds).
+    sys.set_checkpoint_blob(blob_b.clone());
+    let report = sys.restore_round(&mut tr).expect("newest blob restores");
+    assert_eq!(report.round, 0);
+    assert!(sys.run_round_kill_after(0, &mut tr).is_none());
+    let blob_c = sys.checkpoint_blob().unwrap().to_vec();
+    assert!(counter_of(&blob_c) > counter_of(&blob_b), "counters climb across rounds");
+    let report = sys.restore_round(&mut tr).expect("round 1 restores too");
+    assert_eq!(report.round, 1);
+}
+
+/// Checkpointing is a pure overhead knob: turning it off must change
+/// neither the round output nor the trace.
+#[test]
+fn checkpointing_does_not_change_the_round() {
+    let kind = AggregatorKind::Grouped { h: 3 };
+    let (ref_params, ref_digest, _) = uninterrupted(kind, None, 17, 4, 2);
+    let (mut sys, _) = small_system(kind, None, 17);
+    sys.set_threads(2);
+    sys.set_chunk(4);
+    sys.set_checkpointing(false);
+    let mut tr = RecordingTracer::new(Granularity::Element);
+    sys.run_round(&mut tr);
+    assert_bitwise_eq(&sys.global_params(), &ref_params, "checkpointing off");
+    assert_eq!(tr.digest(), ref_digest);
+    assert!(sys.checkpoint_blob().is_none(), "no blob is written when disabled");
+}
