@@ -17,6 +17,14 @@
 //! ingestion_ws: {"config":"streaming_batch","n":100000,...,"peak_bytes":...,"would_page":false}
 //! ```
 //!
+//! The shard sweep (S ∈ {1, 2, 4, 8}) runs the same round through a
+//! provisioned shard plane: the `Advanced` working-set pass prints one
+//! `ingestion_ws:` line **per shard** with that shard's *measured* EPC
+//! peak (`"config":"sharded_advanced"`, keyed by `"shards"` and
+//! `"shard"`), demonstrating the Figure-10 cliff dissolving as S grows;
+//! the timed `sharded_s{S}` benches (NonOblivious fold, like the other
+//! timed configs) price the tunnel transport itself.
+//!
 //! `OLIVE_BENCH_FULL=1` includes n = 100k; the default sweep stops at
 //! 10k so the CI smoke job stays fast. Timings land in `OLIVE_BENCH_JSON`
 //! like every other bench.
@@ -97,6 +105,44 @@ fn bench_ingestion(c: &mut Criterion) {
                 rig.materialize_pass(&msgs, kind, false, None)
             })
         });
+
+        // The shard sweep: measured per-shard peaks under the Advanced
+        // aggregator (the kind whose sort working set overflows a 96 MiB
+        // EPC at n = 100k), then the transport-cost timing.
+        for shards in [1usize, 2, 4, 8] {
+            let rt = {
+                let mut rig = rig.borrow_mut();
+                let rt = rig.provision_shards(shards);
+                let msgs = rig.seal_round();
+                let (_, peaks, rt) =
+                    rig.sharded_streaming_pass(&msgs, AggregatorKind::Advanced, CHUNK, rt);
+                let limit = rig.epc_limit();
+                for (i, &peak) in peaks.iter().enumerate() {
+                    println!(
+                        "ingestion_ws: {{\"config\":\"sharded_advanced\",\"n\":{n},\"k\":{K},\
+                         \"d\":{D},\"chunk\":{CHUNK},\"shards\":{shards},\"shard\":{i},\
+                         \"peak_bytes\":{peak},\"epc_limit\":{limit},\"would_page\":{}}}",
+                        peak > limit,
+                    );
+                }
+                rt
+            };
+            let rt = RefCell::new(Some(rt));
+            group.bench_with_input(
+                BenchmarkId::new(&format!("sharded_s{shards}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut rig = rig.borrow_mut();
+                        let msgs = rig.seal_round();
+                        let live = rt.borrow_mut().take().expect("runtime shuttles between iters");
+                        let (delta, _, back) = rig.sharded_streaming_pass(&msgs, kind, CHUNK, live);
+                        *rt.borrow_mut() = Some(back);
+                        delta
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

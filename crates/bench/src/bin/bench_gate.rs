@@ -1,0 +1,230 @@
+//! CI bench-regression gate: compares an `OLIVE_BENCH_JSON` results file
+//! against a committed baseline and fails (exit 1) when any allowlisted
+//! stable bench regresses by more than the threshold (default 30%).
+//!
+//! ```text
+//! bench_gate --baseline crates/bench/baselines/pr7-bench.json \
+//!            --current bench-results.json [--threshold 30]
+//! ```
+//!
+//! The file format is the vendored criterion shim's flat JSON object —
+//! `{"group/name/param": mean_ns, …}`, one entry per line — parsed here
+//! with the same line-based rules the shim uses to merge, so the two
+//! round-trip exactly (no serde in the tree).
+//!
+//! Only benches matching [`STABLE_PREFIXES`] gate the build: those are
+//! arithmetic-bound kernels whose mean is reproducible on shared CI
+//! runners. Everything else (ingestion rounds, ORAM, checkpoint I/O —
+//! allocator- and scheduler-noisy at the 20 ms smoke budget) is shown in
+//! the delta table for the record but never fails the job. An allowlisted
+//! bench present in the baseline but *missing* from the current run also
+//! fails: silently dropping a bench must not read as a pass.
+//!
+//! The table goes to stdout and, when `$GITHUB_STEP_SUMMARY` is set, is
+//! appended there as GitHub-flavored markdown.
+//!
+//! `--quick` runs the built-in self-test (the experiments-quick CI job
+//! sweeps every bin in this crate with `--quick`): it checks the parser
+//! and the gate verdicts on synthetic data and exits 0.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Benches stable enough to gate on: small, arithmetic-bound kernels with
+/// no allocator churn. Prefix match against the `group/name/param` key.
+const STABLE_PREFIXES: &[&str] = &["aes_gcm/", "hmac/", "sha256/", "sort/", "sort_kernel/"];
+
+/// Default allowed regression, percent.
+const DEFAULT_THRESHOLD: f64 = 30.0;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--quick") {
+        return self_test();
+    }
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline_path = it.next().cloned(),
+            "--current" => current_path = it.next().cloned(),
+            "--threshold" => {
+                threshold =
+                    it.next().and_then(|v| v.parse().ok()).expect("--threshold takes a percentage")
+            }
+            other => {
+                eprintln!("bench_gate: unknown argument {other}");
+                eprintln!(
+                    "usage: bench_gate --baseline <json> --current <json> [--threshold <pct>]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        eprintln!("usage: bench_gate --baseline <json> --current <json> [--threshold <pct>]");
+        return ExitCode::FAILURE;
+    };
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => parse_flat_json(&s),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let current = match std::fs::read_to_string(&current_path) {
+        Ok(s) => parse_flat_json(&s),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read current {current_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = compare(&baseline, &current, threshold);
+    print!("{}", report.table);
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !summary.is_empty() {
+            use std::io::Write;
+            match std::fs::OpenOptions::new().create(true).append(true).open(&summary) {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", report.markdown);
+                }
+                Err(e) => eprintln!("bench_gate: cannot append to {summary}: {e}"),
+            }
+        }
+    }
+    if report.failures.is_empty() {
+        println!("bench_gate: OK — {} gated benches within {threshold}% of baseline", report.gated);
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.failures {
+            eprintln!("bench_gate: FAIL — {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Parses the criterion shim's flat `{"name": ns, …}` object with the
+/// shim's own line-based rules (one entry per line, exactly one quote
+/// stripped per side, escaped quotes/backslashes unescaped).
+fn parse_flat_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some((name, value)) = line.rsplit_once(':') {
+            let name = name.trim();
+            let name = name.strip_prefix('"').unwrap_or(name);
+            let name = name.strip_suffix('"').unwrap_or(name);
+            if let Ok(ns) = value.trim().parse::<f64>() {
+                if !name.is_empty() {
+                    out.push((name.replace("\\\"", "\"").replace("\\\\", "\\"), ns));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_gated(name: &str) -> bool {
+    STABLE_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+struct Report {
+    table: String,
+    markdown: String,
+    failures: Vec<String>,
+    gated: usize,
+}
+
+fn compare(baseline: &[(String, f64)], current: &[(String, f64)], threshold: f64) -> Report {
+    let mut table = String::new();
+    let mut md = String::from("### Bench regression gate\n\n");
+    let _ = writeln!(
+        table,
+        "{:<52} {:>12} {:>12} {:>8}  verdict",
+        "bench", "baseline ns", "current ns", "delta"
+    );
+    md.push_str("| bench | baseline ns | current ns | delta | verdict |\n");
+    md.push_str("|---|---:|---:|---:|---|\n");
+    let mut failures = Vec::new();
+    let mut gated = 0usize;
+    for (name, base) in baseline {
+        let cur = current.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        let gate = is_gated(name);
+        let (delta_s, verdict) = match cur {
+            Some(cur) => {
+                let delta = (cur - base) / base * 100.0;
+                let verdict = if !gate {
+                    "info"
+                } else if delta > threshold {
+                    failures.push(format!(
+                        "{name}: {base:.0} ns → {cur:.0} ns (+{delta:.1}% > {threshold}%)"
+                    ));
+                    "REGRESSION"
+                } else {
+                    gated += 1;
+                    "ok"
+                };
+                (format!("{delta:+.1}%", delta = delta), verdict)
+            }
+            None if gate => {
+                failures.push(format!("{name}: present in baseline, missing from current run"));
+                ("—".to_string(), "MISSING")
+            }
+            None => ("—".to_string(), "info"),
+        };
+        let cur_s = cur.map_or("—".to_string(), |c| format!("{c:.1}"));
+        let _ = writeln!(table, "{name:<52} {base:>12.1} {cur_s:>12} {delta_s:>8}  {verdict}");
+        let _ = writeln!(md, "| `{name}` | {base:.1} | {cur_s} | {delta_s} | {verdict} |");
+    }
+    for (name, cur) in current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            let _ = writeln!(table, "{name:<52} {:>12} {cur:>12.1} {:>8}  new", "—", "—");
+            let _ = writeln!(md, "| `{name}` | — | {cur:.1} | — | new |");
+        }
+    }
+    let _ = writeln!(
+        md,
+        "\n{} gated benches, {} regression(s), threshold {threshold}%.",
+        gated + failures.len(),
+        failures.len()
+    );
+    Report { table, markdown: md, failures, gated }
+}
+
+/// `--quick` self-test: parser round-trip + gate verdicts on synthetic
+/// results. Exits non-zero on any mismatch, so the experiments-quick CI
+/// sweep genuinely exercises the gate logic.
+fn self_test() -> ExitCode {
+    let baseline = r#"{
+  "aes_gcm/seal/4096": 1000.0,
+  "oram/read/1024": 500.0,
+  "sha256/escaped\"name": 10.0,
+  "hmac/gone_missing/1": 7.0
+}
+"#;
+    let current = r#"{
+  "aes_gcm/seal/4096": 2000.0,
+  "oram/read/1024": 5000.0,
+  "sha256/escaped\"name": 10.5,
+  "sort/bitonic/256": 99.0
+}
+"#;
+    let base = parse_flat_json(baseline);
+    let cur = parse_flat_json(current);
+    assert_eq!(base.len(), 4, "parser must read every baseline entry");
+    assert!(base.iter().any(|(n, _)| n == "sha256/escaped\"name"), "escaped quotes must unescape");
+    let report = compare(&base, &cur, DEFAULT_THRESHOLD);
+    // The 2x AES slowdown and the missing gated bench must fail; the
+    // 10x ORAM slowdown must not (not allowlisted); +5% must pass.
+    assert_eq!(report.failures.len(), 2, "gate verdicts: {:?}", report.failures);
+    assert!(report.failures[0].contains("aes_gcm"), "2x slowdown on a gated bench fails");
+    assert!(report.failures[1].contains("gone_missing"), "missing gated bench fails");
+    assert_eq!(report.gated, 1, "the +5% gated bench passes");
+    assert!(report.table.contains("sort/bitonic/256"), "new benches are listed");
+    let clean = compare(&base, &base, DEFAULT_THRESHOLD);
+    assert!(clean.failures.is_empty(), "identical results must pass");
+    println!("bench_gate --quick: self-test passed (parser + verdicts)");
+    ExitCode::SUCCESS
+}

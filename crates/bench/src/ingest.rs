@@ -18,7 +18,9 @@
 //! than oblivious-sort cost, which the `aggregation`/`grouping` benches
 //! already cover.
 
-use olive_core::aggregation::{Aggregator, AggregatorKind, StreamingAggregator};
+use olive_core::aggregation::{
+    Aggregator, AggregatorKind, ShardRuntime, ShardedAggregator, StreamingAggregator,
+};
 use olive_core::olive::{open_and_decode, staged_chunk_bytes};
 use olive_fl::SparseGradient;
 use olive_memsim::{NullTracer, StateReader, StateWriter, WorkingSet};
@@ -27,7 +29,9 @@ use std::time::Instant;
 
 /// A provisioned enclave + n attested client sessions + fixed payloads.
 pub struct IngestionRig {
+    service: AttestationService,
     enclave: Enclave,
+    seed_bytes: [u8; 32],
     sessions: Vec<ClientSession>,
     users: Vec<u32>,
     payloads: Vec<Vec<u8>>,
@@ -68,7 +72,27 @@ impl IngestionRig {
             .iter()
             .map(SparseGradient::encode)
             .collect();
-        IngestionRig { enclave, sessions, users, payloads, round: 0, d, k }
+        IngestionRig { service, enclave, seed_bytes, sessions, users, payloads, round: 0, d, k }
+    }
+
+    /// Provisions a shard plane of `shards` enclaves around this rig's
+    /// coordinator — the same re-attestation + tunnel handshake
+    /// `OliveSystem` performs when `OLIVE_SHARDS` > 1. Call once per
+    /// topology and reuse across passes (provisioning is handshake cost,
+    /// not per-round cost).
+    pub fn provision_shards(&mut self, shards: usize) -> ShardRuntime {
+        let mut seed = self.seed_bytes;
+        seed[23] ^= 0x5A;
+        let epc_bytes = self.enclave.epc.limit;
+        ShardRuntime::provision(
+            &self.service,
+            &mut self.enclave,
+            b"olive-ingestion-bench",
+            seed,
+            epc_bytes,
+            self.d,
+            shards,
+        )
     }
 
     /// Clients provisioned.
@@ -130,6 +154,26 @@ impl IngestionRig {
             ws.alloc(agg.finalize_scratch_bytes());
         }
         agg.finalize(&mut NullTracer)
+    }
+
+    /// Streaming pipeline over a shard plane: chunks are opened by the
+    /// coordinator, broadcast through the attested tunnels, and the
+    /// finalized delta is striped out to the shards with receipts — the
+    /// full `OLIVE_SHARDS` round shape. Returns the delta, each shard's
+    /// measured EPC peak, and the runtime (reusable for the next pass).
+    pub fn sharded_streaming_pass(
+        &mut self,
+        msgs: &[SealedMessage],
+        kind: AggregatorKind,
+        chunk: usize,
+        rt: ShardRuntime,
+    ) -> (Vec<f32>, Vec<u64>, ShardRuntime) {
+        let mut agg = ShardedAggregator::new(kind, self.d, 1, rt);
+        for msg_chunk in msgs.chunks(chunk) {
+            let staged = self.open_chunk(msg_chunk, true);
+            agg.ingest(&staged, &mut NullTracer);
+        }
+        agg.finalize_with_peaks(&mut NullTracer)
     }
 
     /// Materialize-all pipeline: decode the entire round into enclave
@@ -268,6 +312,25 @@ mod tests {
             ws_stream.peak,
             ws_mat.peak
         );
+    }
+
+    #[test]
+    fn sharded_pass_matches_monolithic_and_balances() {
+        let mut rig = IngestionRig::new(30, 6, 128, 21);
+        let kind = AggregatorKind::NonOblivious;
+        let msgs = rig.seal_round();
+        let reference = rig.streaming_pass(&msgs, kind, 4, true, None);
+        let mut rt = rig.provision_shards(4);
+        for _ in 0..2 {
+            let msgs = rig.seal_round();
+            let (delta, peaks, back) = rig.sharded_streaming_pass(&msgs, kind, 4, rt);
+            rt = back;
+            let same = delta.iter().zip(reference.iter()).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "sharded pass must agree bitwise with the monolithic pass");
+            assert_eq!(peaks.len(), 4);
+            assert!(peaks.iter().all(|&p| p > 0), "every shard does real work");
+            assert!(rt.live().iter().all(|&b| b == 0), "shard budgets balance per pass");
+        }
     }
 
     #[test]

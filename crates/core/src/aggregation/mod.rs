@@ -16,6 +16,7 @@ pub mod dobliv;
 pub mod grouped;
 pub mod linear;
 pub mod oram;
+pub mod sharded;
 pub mod streaming;
 
 use olive_fl::SparseGradient;
@@ -24,6 +25,7 @@ use olive_oram::PosMapKind;
 
 use crate::parallel::default_threads;
 
+pub use sharded::{ShardRuntime, ShardedAggregator, SHARD_CODE_IDENTITY};
 pub use streaming::{Aggregator, StreamingAggregator};
 
 /// Which aggregation algorithm the enclave runs (Section 5's lineup).

@@ -1,0 +1,488 @@
+//! Sharded multi-enclave aggregation: the `G`-region dimension split into
+//! `S` contiguous stripes, one shard enclave per stripe, each under its
+//! own [`olive_tee::EpcBudget`] — ROADMAP item 1, the structural answer to
+//! the Figure 10 cliff (the monolithic O(nk) sort working set blowing the
+//! 96 MiB EPC). TENNOR makes the same move for oblivious NN inference:
+//! bound each enclave's oblivious working set by partitioning the
+//! computation.
+//!
+//! ## Topology and invariants
+//!
+//! The **coordinator** enclave (the one clients attest and upload to)
+//! remains the round's canonical compute site: every upload is opened,
+//! every cell folded, and the adversary-visible trace emitted there,
+//! exactly as in the monolithic path. Sharding adds a *memory and
+//! transport* plane around that schedule:
+//!
+//! * every shard runs in its own enclave, mutually attested to the
+//!   coordinator through a [`ShardTunnel`] (measurement pinned both ways);
+//! * **ingress** broadcasts each staged chunk's cell segment to every
+//!   shard over its tunnel. The segment shape is a pure function of the
+//!   public chunk schedule (every upload pads to k cells), so the
+//!   transport pattern is identical for all inputs — per-shard routed
+//!   counts are data-dependent and therefore must never appear on the
+//!   wire. Each shard scans the whole segment inside the enclave
+//!   (fixed-shape routing) and keeps only its stripe's cells;
+//! * **egress** seals each shard's stripe of the finalized delta through
+//!   its tunnel; the shard answers with a receipt carrying the stripe
+//!   hash, and the coordinator folds the shard-held stripes back together
+//!   in ascending shard order — a deterministic fold that reproduces the
+//!   canonical delta bit for bit;
+//! * every dimension-proportional EPC charge of the canonical schedule is
+//!   mirrored onto the shard budgets as its stripe-weighted share
+//!   ([`ShardPlan::split_charge`], an exact telescoping split), plus the
+//!   transport transients above. The coordinator's own accounting is
+//!   untouched — it is what the round report and the bitwise invariants
+//!   are defined over.
+//!
+//! Because the canonical schedule never changes, the round output,
+//! signature and trace digest are bitwise identical at every shard count
+//! — the repo's hard invariant — while the per-shard budgets model what
+//! each enclave of the sharded deployment must hold.
+
+use olive_fl::SparseGradient;
+use olive_memsim::{ParallelTracer, ShardPlan, StateError};
+use olive_tee::{
+    attestation::digest, AttestationService, Enclave, EnclaveConfig, ShardTunnel, TunnelRole,
+};
+
+use crate::aggregation::{Aggregator, AggregatorKind, StreamingAggregator};
+use crate::cell::{cell_index, concat_cells, DUMMY_INDEX};
+
+/// Code identity every shard enclave must measure to (what the
+/// coordinator pins when it verifies a shard's quote, and vice versa the
+/// shards pin the coordinator's measurement).
+pub const SHARD_CODE_IDENTITY: &str = "olive-shard-aggregator-v1";
+
+/// Attestation user data binding shard quotes to the shard plane (the
+/// coordinator keeps its own client-facing context: re-attesting it under
+/// a different context would change the transcript its session keys are
+/// bound to).
+const SHARD_ATTEST_CONTEXT: &[u8] = b"olive-shard-plane-v1";
+
+/// Tunnel message kinds.
+const MSG_CELLS: u8 = 1;
+const MSG_STRIPE: u8 = 2;
+const MSG_RECEIPT: u8 = 3;
+
+/// One shard enclave plus both endpoints of its coordinator tunnel (the
+/// simulation holds the whole deployment in one process, so the pair
+/// lives side by side; a real deployment holds one end per machine).
+struct ShardState {
+    enclave: Enclave,
+    coord_end: ShardTunnel,
+    shard_end: ShardTunnel,
+    /// Cells routed into this shard's stripe so far this round (learned
+    /// inside the shard enclave by the fixed-shape scan; reported back in
+    /// the egress receipt, never on the ingress wire).
+    routed_cells: u64,
+}
+
+/// The provisioned shard plane: `S` shard enclaves, their tunnels, and
+/// the stripe plan that maps coordinates and charges onto them.
+pub struct ShardRuntime {
+    plan: ShardPlan,
+    shards: Vec<ShardState>,
+}
+
+impl ShardRuntime {
+    /// Launches and mutually attests `shards` shard enclaves against the
+    /// (already client-attested) coordinator.
+    ///
+    /// The coordinator re-attests under its *existing* `user_data`
+    /// context so its transcript — which every client session key is
+    /// bound to — is unchanged; shard quotes use the shard-plane context.
+    /// Both directions of every tunnel pin the peer's measurement, so a
+    /// shard enclave only ever accepts cells from the verified
+    /// coordinator and the coordinator only accepts receipts from
+    /// verified shards.
+    pub fn provision(
+        service: &AttestationService,
+        coordinator: &mut Enclave,
+        coordinator_context: &[u8],
+        seed_bytes: [u8; 32],
+        epc_bytes: u64,
+        d: usize,
+        shards: usize,
+    ) -> Self {
+        Self::provision_with_plan(
+            service,
+            coordinator,
+            coordinator_context,
+            seed_bytes,
+            epc_bytes,
+            ShardPlan::even(d, shards),
+        )
+    }
+
+    /// [`ShardRuntime::provision`] with an explicit stripe plan (uneven
+    /// boundaries included) — boundary placement is public topology and
+    /// must never change the round output or trace, which the proptest
+    /// suite pins through this entry point.
+    pub fn provision_with_plan(
+        service: &AttestationService,
+        coordinator: &mut Enclave,
+        coordinator_context: &[u8],
+        seed_bytes: [u8; 32],
+        epc_bytes: u64,
+        plan: ShardPlan,
+    ) -> Self {
+        let shards = plan.shards();
+        let coord_quote = coordinator.attest(service, coordinator_context);
+        let coord_measurement = coordinator.measurement();
+        let shard_cfg = EnclaveConfig { code_identity: SHARD_CODE_IDENTITY.to_string(), epc_bytes };
+        let states = (0..shards)
+            .map(|i| {
+                let mut seed = seed_bytes;
+                seed[16..20].copy_from_slice(&(i as u32).to_be_bytes());
+                seed[20] ^= 0x5D;
+                let mut enclave = Enclave::launch(&shard_cfg, seed);
+                let shard_quote = enclave.attest(service, SHARD_ATTEST_CONTEXT);
+                let coord_end = ShardTunnel::establish(
+                    TunnelRole::Coordinator,
+                    coordinator,
+                    service.public_key(),
+                    &enclave.measurement(),
+                    &shard_quote,
+                    i as u32,
+                )
+                .expect("shard quote is genuine in the simulation");
+                let shard_end = ShardTunnel::establish(
+                    TunnelRole::Shard,
+                    &enclave,
+                    service.public_key(),
+                    &coord_measurement,
+                    &coord_quote,
+                    i as u32,
+                )
+                .expect("coordinator quote is genuine in the simulation");
+                ShardState { enclave, coord_end, shard_end, routed_cells: 0 }
+            })
+            .collect();
+        ShardRuntime { plan, shards: states }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The stripe plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Opens a fresh per-round accounting epoch on every shard budget
+    /// (mirrors [`Enclave::begin_round`]'s epoch on the coordinator).
+    pub fn begin_round(&mut self) {
+        for sh in &mut self.shards {
+            sh.enclave.epc.begin_epoch();
+            sh.routed_cells = 0;
+        }
+    }
+
+    /// Mirrors a coordinator allocation of `bytes` onto the shard
+    /// budgets, each charged its stripe-weighted share.
+    pub fn alloc_split(&mut self, bytes: u64) {
+        for (sh, part) in self.shards.iter_mut().zip(self.plan.split_charge(bytes)) {
+            sh.enclave.epc.alloc(part);
+        }
+    }
+
+    /// Mirrors a coordinator release of `bytes` (the split is
+    /// deterministic, so alloc/free always balance exactly).
+    pub fn free_split(&mut self, bytes: u64) {
+        for (sh, part) in self.shards.iter_mut().zip(self.plan.split_charge(bytes)) {
+            sh.enclave.epc.free(part);
+        }
+    }
+
+    /// Broadcasts one staged chunk's cell segment to every shard through
+    /// its tunnel. The segment has the same public shape for every shard
+    /// and every input of that shape; each shard scans all of it inside
+    /// the enclave and keeps its stripe's cells, so per-shard counts stay
+    /// enclave-private. The decrypted segment is a transient EPC charge
+    /// on each shard for the duration of the scan.
+    pub fn ingress_chunk(&mut self, staged: &[SparseGradient]) {
+        let cells = concat_cells(staged);
+        let mut payload = Vec::with_capacity(cells.len() * 8);
+        for c in &cells {
+            payload.extend_from_slice(&c.to_le_bytes());
+        }
+        for (i, sh) in self.shards.iter_mut().enumerate() {
+            let msg = sh.coord_end.seal(MSG_CELLS, &payload);
+            let transient = payload.len() as u64;
+            sh.enclave.epc.alloc(transient);
+            let plain = sh.shard_end.open(&msg).expect("own tunnel frames authenticate");
+            let range = self.plan.range(i);
+            let mut routed = 0u64;
+            for cell_bytes in plain.chunks_exact(8) {
+                let cell = u64::from_le_bytes(cell_bytes.try_into().expect("8-byte cell"));
+                let idx = cell_index(cell);
+                // Branch-free keep decision: every shard touches every
+                // cell of the segment regardless of ownership.
+                let keep = (idx != DUMMY_INDEX) & range.contains(&(idx as usize));
+                routed += u64::from(keep);
+            }
+            sh.routed_cells += routed;
+            sh.enclave.epc.free(transient);
+        }
+    }
+
+    /// Distributes the finalized delta stripewise to the shards and folds
+    /// the shard-held stripes back in ascending shard order — the
+    /// deterministic merge. Each shard's receipt carries the hash of the
+    /// stripe it holds (plus its routed-cell count); the coordinator
+    /// verifies every receipt against the stripe it sealed, so the
+    /// reassembled delta is bitwise the canonical one by construction.
+    ///
+    /// # Panics
+    /// If a receipt's stripe hash disagrees with what the coordinator
+    /// sent — transport corruption, impossible in the in-process
+    /// simulation short of a bug.
+    pub fn egress_round(&mut self, delta: &[f32]) -> Vec<f32> {
+        assert_eq!(delta.len(), self.plan.d(), "delta dimension must match the plan");
+        let mut out = Vec::with_capacity(delta.len());
+        for (i, sh) in self.shards.iter_mut().enumerate() {
+            let stripe = &delta[self.plan.range(i)];
+            let mut bytes = Vec::with_capacity(stripe.len() * 4);
+            for v in stripe {
+                bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            let down = sh.coord_end.seal(MSG_STRIPE, &bytes);
+            let transient = bytes.len() as u64;
+            sh.enclave.epc.alloc(transient);
+            let held = sh.shard_end.open(&down).expect("own tunnel frames authenticate");
+            let mut receipt = digest(&held).to_vec();
+            receipt.extend_from_slice(&sh.routed_cells.to_be_bytes());
+            let up = sh.shard_end.seal(MSG_RECEIPT, &receipt);
+            let opened = sh.coord_end.open(&up).expect("own tunnel frames authenticate");
+            assert_eq!(
+                opened[..32],
+                digest(&bytes)[..],
+                "shard {i} receipt hash must match the sealed stripe"
+            );
+            for v in held.chunks_exact(4) {
+                out.push(f32::from_bits(u32::from_le_bytes(v.try_into().expect("4-byte f32"))));
+            }
+            sh.enclave.epc.free(transient);
+            sh.routed_cells = 0;
+        }
+        out
+    }
+
+    /// Per-shard EPC peaks (bytes) for the current accounting epoch, in
+    /// shard order.
+    pub fn peaks(&self) -> Vec<u64> {
+        self.shards.iter().map(|sh| sh.enclave.epc.peak).collect()
+    }
+
+    /// Per-shard live EPC bytes (zero after a balanced round).
+    pub fn live(&self) -> Vec<u64> {
+        self.shards.iter().map(|sh| sh.enclave.epc.live).collect()
+    }
+
+    /// True if any shard's epoch peak exceeds its own EPC limit — the
+    /// sharded deployment's paging predicate.
+    pub fn any_would_page(&self) -> bool {
+        self.shards.iter().any(|sh| sh.enclave.epc.would_page())
+    }
+
+    /// Cells each shard routed into its stripe so far this round (test
+    /// hook; enclave-private in a deployment, reported via receipts).
+    pub fn routed_cells(&self) -> Vec<u64> {
+        self.shards.iter().map(|sh| sh.routed_cells).collect()
+    }
+}
+
+/// A [`StreamingAggregator`] wrapped in the shard plane: same canonical
+/// compute and trace, plus tunnel transport and per-shard EPC accounting
+/// on every chunk — the [`Aggregator`]-seam face of sharding. The round
+/// driver (`OliveSystem`) threads the same [`ShardRuntime`] machinery
+/// through its own richer charge schedule; this wrapper is the
+/// self-contained form for benches and equivalence tests.
+pub struct ShardedAggregator {
+    inner: StreamingAggregator,
+    rt: ShardRuntime,
+    resident: u64,
+}
+
+impl ShardedAggregator {
+    /// Wraps a fresh aggregator of `kind` over an already provisioned
+    /// shard runtime, charging the initial resident state to the shard
+    /// budgets.
+    pub fn new(kind: AggregatorKind, d: usize, threads: usize, mut rt: ShardRuntime) -> Self {
+        assert_eq!(rt.plan().d(), d, "shard plan dimension must match the aggregator");
+        let inner = StreamingAggregator::new(kind, d, threads);
+        let resident = inner.resident_bytes();
+        rt.begin_round();
+        rt.alloc_split(resident);
+        ShardedAggregator { inner, rt, resident }
+    }
+
+    /// [`Aggregator::finalize`] that also hands back the per-shard EPC
+    /// peaks (and the runtime, for reuse across rounds).
+    pub fn finalize_with_peaks<TR: ParallelTracer>(
+        self,
+        tr: &mut TR,
+    ) -> (Vec<f32>, Vec<u64>, ShardRuntime) {
+        let ShardedAggregator { inner, mut rt, resident } = self;
+        let fin_scratch = inner.finalize_scratch_bytes();
+        rt.alloc_split(fin_scratch);
+        let delta = inner.finalize(tr);
+        let out = rt.egress_round(&delta);
+        rt.free_split(fin_scratch);
+        rt.free_split(resident);
+        let peaks = rt.peaks();
+        (out, peaks, rt)
+    }
+}
+
+impl Aggregator for ShardedAggregator {
+    fn ingest<TR: ParallelTracer>(&mut self, chunk: &[SparseGradient], tr: &mut TR) {
+        let k = chunk.iter().map(|u| u.k()).max().unwrap_or(0);
+        let scratch = self.inner.ingest_scratch_bytes(chunk.len(), k);
+        self.rt.alloc_split(scratch);
+        self.rt.ingress_chunk(chunk);
+        self.inner.ingest(chunk, tr);
+        self.rt.free_split(scratch);
+        let now = self.inner.resident_bytes();
+        self.rt.free_split(self.resident);
+        self.rt.alloc_split(now);
+        self.resident = now;
+    }
+
+    fn finalize<TR: ParallelTracer>(self, tr: &mut TR) -> Vec<f32> {
+        self.finalize_with_peaks(tr).0
+    }
+
+    fn clients(&self) -> usize {
+        self.inner.clients()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.inner.resident_bytes()
+    }
+
+    fn ingest_scratch_bytes(&self, chunk_clients: usize, k: usize) -> u64 {
+        self.inner.ingest_scratch_bytes(chunk_clients, k)
+    }
+
+    fn finalize_scratch_bytes(&self) -> u64 {
+        self.inner.finalize_scratch_bytes()
+    }
+
+    // Checkpoint blobs stay shard-agnostic: the canonical aggregator
+    // state is the round's whole restorable truth, so a round sealed at
+    // S=4 restores at S=1 (and vice versa) — shard topology is runtime
+    // configuration, not persisted state.
+    fn save_state(&self) -> Vec<u8> {
+        self.inner.save_state()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        self.inner.load_state(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::test_support::random_updates;
+    use olive_memsim::NullTracer;
+
+    fn runtime(d: usize, shards: usize, seed: u8) -> ShardRuntime {
+        let service = AttestationService::new([seed; 32]);
+        let mut coordinator = Enclave::launch(&EnclaveConfig::default(), [seed ^ 1; 32]);
+        coordinator.attest(&service, b"sharded-test");
+        ShardRuntime::provision(
+            &service,
+            &mut coordinator,
+            b"sharded-test",
+            [seed ^ 2; 32],
+            96 << 20,
+            d,
+            shards,
+        )
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_bitwise() {
+        let (d, n, k) = (96, 24, 6);
+        let updates = random_updates(n, k, d, 11);
+        let mut mono = StreamingAggregator::new(AggregatorKind::Advanced, d, 1);
+        for chunk in updates.chunks(5) {
+            mono.ingest(chunk, &mut NullTracer);
+        }
+        let want = mono.finalize(&mut NullTracer);
+        for shards in [1usize, 2, 4, 8] {
+            let mut agg =
+                ShardedAggregator::new(AggregatorKind::Advanced, d, 1, runtime(d, shards, 3));
+            for chunk in updates.chunks(5) {
+                agg.ingest(chunk, &mut NullTracer);
+            }
+            let (got, peaks, rt) = agg.finalize_with_peaks(&mut NullTracer);
+            assert_eq!(peaks.len(), shards);
+            assert!(rt.live().iter().all(|&b| b == 0), "S={shards}: budgets must balance");
+            let same = want.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "S={shards} changed the round output");
+        }
+    }
+
+    #[test]
+    fn routing_partitions_every_real_cell() {
+        let (d, n, k) = (64, 10, 4);
+        let updates = random_updates(n, k, d, 5);
+        let mut agg = ShardedAggregator::new(AggregatorKind::NonOblivious, d, 1, runtime(d, 4, 7));
+        agg.ingest(&updates, &mut NullTracer);
+        let routed = agg.rt.routed_cells();
+        let real: u64 = updates
+            .iter()
+            .flat_map(|u| u.to_cells())
+            .filter(|&c| cell_index(c) != DUMMY_INDEX)
+            .count() as u64;
+        assert_eq!(routed.iter().sum::<u64>(), real, "stripes partition the coordinates");
+    }
+
+    #[test]
+    fn shard_budgets_track_stripe_share_plus_transport() {
+        let (d, n, k) = (1000, 40, 8);
+        let updates = random_updates(n, k, d, 9);
+        let mut agg = ShardedAggregator::new(AggregatorKind::Advanced, d, 1, runtime(d, 4, 2));
+        for chunk in updates.chunks(10) {
+            agg.ingest(chunk, &mut NullTracer);
+        }
+        let (_, peaks, _) = agg.finalize_with_peaks(&mut NullTracer);
+        // Each stripe's share of the monolithic working set is ~1/4; the
+        // broadcast transient adds the full chunk segment. Peaks must be
+        // far below the monolithic footprint but nonzero.
+        let mono = {
+            let mut m = StreamingAggregator::new(AggregatorKind::Advanced, d, 1);
+            m.ingest(&updates, &mut NullTracer);
+            m.resident_bytes() + m.finalize_scratch_bytes()
+        };
+        for (i, &p) in peaks.iter().enumerate() {
+            assert!(p > 0, "shard {i} must see charges");
+            assert!(p < mono, "shard {i} peak {p} must undercut the monolithic {mono}");
+        }
+    }
+
+    #[test]
+    fn state_blob_is_shard_agnostic() {
+        let (d, n, k) = (64, 12, 4);
+        let updates = random_updates(n, k, d, 13);
+        let mut sharded =
+            ShardedAggregator::new(AggregatorKind::Grouped { h: 3 }, d, 1, runtime(d, 4, 4));
+        sharded.ingest(&updates[..6], &mut NullTracer);
+        let blob = sharded.save_state();
+        // A monolithic aggregator resumes from the sharded blob.
+        let mut mono = StreamingAggregator::new(AggregatorKind::Grouped { h: 3 }, d, 1);
+        mono.load_state(&blob).expect("shard topology must not enter the blob");
+        mono.ingest(&updates[6..], &mut NullTracer);
+        let want = mono.finalize(&mut NullTracer);
+        sharded.ingest(&updates[6..], &mut NullTracer);
+        let got = sharded.finalize(&mut NullTracer);
+        let same = want.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "sharded and monolithic continuations must agree bitwise");
+    }
+}

@@ -27,7 +27,7 @@ use std::collections::BTreeMap;
 use olive_data::ClientData;
 use olive_dp::{GaussianMechanism, RdpAccountant};
 use olive_fl::{local_update, sample_clients, ClientConfig, FedAvgServer, SparseGradient};
-use olive_memsim::{ParallelTracer, StateError, StateReader, StateWriter, WorkingSet};
+use olive_memsim::{ParallelTracer, ShardPlan, StateError, StateReader, StateWriter, WorkingSet};
 use olive_nn::Model;
 use olive_tee::{
     AttestationService, ClientSession, Enclave, EnclaveConfig, SealedMessage, TeeError, UserId,
@@ -35,7 +35,7 @@ use olive_tee::{
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::aggregation::{Aggregator, AggregatorKind, StreamingAggregator};
+use crate::aggregation::{Aggregator, AggregatorKind, ShardRuntime, StreamingAggregator};
 use crate::parallel::default_threads;
 
 /// Sealing label for mid-round checkpoints. One label, one monotonic
@@ -95,9 +95,15 @@ pub struct RoundReport {
     /// chunked ingestion + aggregation (staged chunks, aggregator-resident
     /// state and transient scratch, charged per chunk).
     pub working_set_bytes: u64,
-    /// Whether that peak exceeds the enclave's *configured* EPC budget
-    /// (`EnclaveConfig::epc_bytes` — not a hardcoded constant).
+    /// Whether the round would page encrypted memory: monolithically
+    /// (S = 1), the working-set peak against the enclave's *configured*
+    /// EPC budget (`EnclaveConfig::epc_bytes` — not a hardcoded
+    /// constant); sharded (S > 1), whether *any* shard enclave's own peak
+    /// exceeded its own budget.
     pub would_page: bool,
+    /// Per-shard EPC peaks (bytes) observed this round, in stripe order —
+    /// empty when the round ran monolithically (S = 1).
+    pub shard_peaks: Vec<u64>,
     /// Enclave signature over the updated global parameters.
     pub model_signature: [u8; 32],
 }
@@ -119,6 +125,14 @@ pub struct OliveSystem {
     accountant: RdpAccountant,
     threads: Option<usize>,
     chunk: Option<usize>,
+    shards: Option<usize>,
+    /// The provisioned shard plane when rounds run sharded (S > 1);
+    /// `None` on the monolithic path. Lazily (re)built by
+    /// [`OliveSystem::ensure_shard_runtime`] whenever the shard count
+    /// changes. Shard enclaves model separate machines: they survive a
+    /// coordinator crash, but the restore path re-provisions them anyway
+    /// (fresh tunnels to the relaunched coordinator).
+    shard_rt: Option<ShardRuntime>,
     /// Seal a restorable checkpoint after every folded chunk (default on;
     /// [`OliveSystem::set_checkpointing`] is the escape hatch).
     checkpoint: bool,
@@ -192,6 +206,28 @@ pub fn default_chunk() -> usize {
     })
 }
 
+/// Process-default shard count: `OLIVE_SHARDS` if set to a positive
+/// integer, else 1 (monolithic). Read once and cached;
+/// [`OliveSystem::set_shards`] overrides per system. Sharding never
+/// changes the round output or the aggregation trace (the canonical
+/// compute schedule is untouched) — the knob splits the enclave memory
+/// plane into per-stripe EPC budgets.
+pub fn default_shards() -> usize {
+    use std::sync::OnceLock;
+    static SHARDS: OnceLock<usize> = OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        if let Ok(v) = std::env::var("OLIVE_SHARDS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+            eprintln!("OLIVE_SHARDS={v:?} is not a positive integer; using default");
+        }
+        1
+    })
+}
+
 impl OliveSystem {
     /// Provisions the system: launches the enclave, runs remote
     /// attestation with every client, and registers the session keys
@@ -256,6 +292,8 @@ impl OliveSystem {
             accountant: RdpAccountant::new(),
             threads: None,
             chunk: None,
+            shards: None,
+            shard_rt: None,
             checkpoint: true,
             pending: None,
             ckpt_store: None,
@@ -292,6 +330,49 @@ impl OliveSystem {
     /// or the process default).
     pub fn chunk(&self) -> usize {
         self.chunk.unwrap_or_else(default_chunk)
+    }
+
+    /// Pins the shard count (stripes of the `G` dimension, one enclave
+    /// per stripe). Unset, the process default applies
+    /// ([`default_shards`]: `OLIVE_SHARDS` or 1). Sharding is public
+    /// topology and changes neither the round output nor the trace — only
+    /// how the enclave memory plane is partitioned. The effective count
+    /// is clamped to the model dimension (a stripe must be non-empty).
+    pub fn set_shards(&mut self, shards: usize) {
+        assert!(shards >= 1, "shard count must be at least 1");
+        self.shards = Some(shards);
+    }
+
+    /// The shard count rounds will use ([`OliveSystem::set_shards`] or
+    /// the process default).
+    pub fn shards(&self) -> usize {
+        self.shards.unwrap_or_else(default_shards)
+    }
+
+    /// (Re)provisions the shard plane to match the configured count:
+    /// drops it on the monolithic path, keeps a matching runtime, and
+    /// launches + mutually attests a fresh one when the count changed.
+    /// The coordinator re-attests under [`ATTEST_CONTEXT`] — the same
+    /// user data as client provisioning, so its transcript (which every
+    /// client session key is bound to) is unchanged.
+    fn ensure_shard_runtime(&mut self) {
+        let s = self.shards().min(self.server.dim());
+        if s <= 1 {
+            self.shard_rt = None;
+            return;
+        }
+        if self.shard_rt.as_ref().is_some_and(|rt| rt.shards() == s) {
+            return;
+        }
+        self.shard_rt = Some(ShardRuntime::provision(
+            &self.service,
+            &mut self.enclave,
+            ATTEST_CONTEXT,
+            self.seed_bytes,
+            self.enclave_cfg.epc_bytes,
+            self.server.dim(),
+            s,
+        ));
     }
 
     /// The current global parameters θ_t.
@@ -359,6 +440,7 @@ impl OliveSystem {
             self.pending.is_none(),
             "an interrupted round must be restored (restore_round) before starting a new one"
         );
+        self.ensure_shard_runtime();
         let pending = self.prepare_round();
         if pending.sampled.is_empty() {
             return Some(self.finish_empty_round(pending.t));
@@ -381,6 +463,9 @@ impl OliveSystem {
         // Line 5: secure in-enclave sampling.
         let sampled = sample_clients(self.cfg.n_clients, self.cfg.sample_rate, &mut self.rng);
         self.enclave.begin_round(t, sampled.clone());
+        if let Some(rt) = self.shard_rt.as_mut() {
+            rt.begin_round();
+        }
         let base_floors = self.enclave.replay_floors();
 
         // Lines 7 + 15–23: local training, sparsify, clip, encrypt.
@@ -421,6 +506,7 @@ impl OliveSystem {
             epsilon_spent: self.cfg.dp.map(|dp| self.accountant.epsilon(dp.delta)),
             working_set_bytes: 0,
             would_page: false,
+            shard_peaks: self.shard_rt.as_ref().map(|rt| rt.peaks()).unwrap_or_default(),
             model_signature,
         }
     }
@@ -441,9 +527,18 @@ impl OliveSystem {
         let t = pending.t;
         let k = pending.k;
         let threads = st.threads;
+        // The shard plane rides alongside the canonical schedule: every
+        // coordinator charge below is mirrored stripe-weighted onto the
+        // shard budgets, and each staged chunk is broadcast through the
+        // tunnels before it folds. Taken out of `self` for the loop so
+        // the opener thread's enclave borrow stays exclusive.
+        let mut rt = self.shard_rt.take();
         let mut resident = st.agg.resident_bytes();
         st.ws.alloc(resident);
         self.enclave.epc.alloc(resident);
+        if let Some(rt) = rt.as_mut() {
+            rt.alloc_split(resident);
+        }
 
         let msg_chunks: Vec<&[SealedMessage]> = pending.sealed.chunks(st.chunk_size).collect();
         let mut staged: Vec<SparseGradient> = Vec::new();
@@ -452,6 +547,9 @@ impl OliveSystem {
             staged_bytes = staged_chunk_bytes(first);
             st.ws.alloc(staged_bytes);
             self.enclave.epc.alloc(staged_bytes);
+            if let Some(rt) = rt.as_mut() {
+                rt.alloc_split(staged_bytes);
+            }
             staged = open_and_decode(&mut self.enclave, first);
         }
         for i in st.next_chunk..msg_chunks.len() {
@@ -465,6 +563,15 @@ impl OliveSystem {
             let next_bytes = next_msgs.map(staged_chunk_bytes).unwrap_or(0);
             st.ws.alloc(next_bytes);
             self.enclave.epc.alloc(next_bytes);
+            if let Some(rt) = rt.as_mut() {
+                rt.alloc_split(scratch);
+                rt.alloc_split(next_bytes);
+                // Broadcast the chunk's cell segment to every shard
+                // before it folds (fixed shape: a pure function of the
+                // public chunk schedule, so the transport leaks nothing
+                // the schedule doesn't already reveal).
+                rt.ingress_chunk(&staged);
+            }
             let next = if let Some(msgs) = next_msgs {
                 if threads >= 2 {
                     // Pipeline: open/decode chunk i+1 on an extra worker
@@ -497,12 +604,20 @@ impl OliveSystem {
             self.enclave.epc.free(scratch);
             st.ws.free(staged_bytes);
             self.enclave.epc.free(staged_bytes);
+            if let Some(rt) = rt.as_mut() {
+                rt.free_split(scratch);
+                rt.free_split(staged_bytes);
+            }
             staged_bytes = next_bytes;
             staged = next;
             let now_resident = st.agg.resident_bytes();
             st.ws.resize(resident, now_resident);
             self.enclave.epc.free(resident);
             self.enclave.epc.alloc(now_resident);
+            if let Some(rt) = rt.as_mut() {
+                rt.free_split(resident);
+                rt.alloc_split(now_resident);
+            }
             resident = now_resident;
 
             // Chunk i is folded: seal the restore point. Sealing touches
@@ -520,6 +635,10 @@ impl OliveSystem {
                 // and the sealed checkpoint) plus the rollback-protected
                 // counter floor.
                 self.enclave = Enclave::launch(&self.enclave_cfg, self.seed_bytes);
+                // The shard enclaves model separate machines and outlive
+                // the coordinator crash; the restore path re-provisions
+                // their tunnels against the relaunched coordinator.
+                self.shard_rt = rt;
                 self.pending = Some(pending);
                 return None;
             }
@@ -528,11 +647,24 @@ impl OliveSystem {
         let fin_scratch = st.agg.finalize_scratch_bytes();
         st.ws.alloc(fin_scratch);
         self.enclave.epc.alloc(fin_scratch);
+        if let Some(rt) = rt.as_mut() {
+            rt.alloc_split(fin_scratch);
+        }
         let mut delta = st.agg.finalize(tr);
+        if let Some(rt) = rt.as_mut() {
+            // Stripe the finalized delta out to the shards and fold the
+            // shard-held stripes back in ascending shard order — the
+            // deterministic merge, bitwise the canonical delta.
+            delta = rt.egress_round(&delta);
+        }
         st.ws.free(fin_scratch);
         self.enclave.epc.free(fin_scratch);
         st.ws.free(resident);
         self.enclave.epc.free(resident);
+        if let Some(rt) = rt.as_mut() {
+            rt.free_split(fin_scratch);
+            rt.free_split(resident);
+        }
 
         // Algorithm 6 line 12: enclave-side Gaussian perturbation. The
         // finalize() above divides by the realized n; Algorithm 6 scales
@@ -561,13 +693,20 @@ impl OliveSystem {
         // weight. The floor stays pinned forever — monotone across rounds,
         // so no stale blob can ever replay into a later round.
         self.ckpt_store = None;
+        let shard_peaks = rt.as_ref().map(|rt| rt.peaks()).unwrap_or_default();
+        let would_page = match rt.as_ref() {
+            Some(rt) => rt.any_would_page(),
+            None => st.ws.peak > self.enclave.epc.limit,
+        };
+        self.shard_rt = rt;
         Some(RoundReport {
             round: t,
             processed_users: pending.sampled,
             k_per_user: k,
             epsilon_spent,
             working_set_bytes: st.ws.peak,
-            would_page: st.ws.peak > self.enclave.epc.limit,
+            would_page,
+            shard_peaks,
             model_signature,
         })
     }
@@ -709,6 +848,12 @@ impl OliveSystem {
                 .register_client(s.user(), s.dh_public())
                 .expect("the enclave re-attested above");
         }
+        // A fresh coordinator means fresh tunnels: re-provision the shard
+        // plane against the relaunched enclave (the shard machines
+        // survived the crash, but their attested channels died with the
+        // coordinator's ephemeral state).
+        self.shard_rt = None;
+        self.ensure_shard_runtime();
 
         // Unseal against the pinned floor: stale (rolled-back) blobs and
         // tampered blobs both fail here, leaving the round pending.
@@ -726,6 +871,9 @@ impl OliveSystem {
         let mut pending = self.pending.take().expect("checked above");
         self.rng = SmallRng::from_state(ckpt.rng_state);
         self.enclave.begin_round(pending.t, pending.sampled.clone());
+        if let Some(rt) = self.shard_rt.as_mut() {
+            rt.begin_round();
+        }
         self.enclave.restore_replay_floors(&ckpt.floors);
         // Future checkpoints of this round rebuild their snapshots from
         // the restored floors: unfolded users still carry their base
@@ -936,6 +1084,23 @@ pub fn working_set_bytes_threaded(
     }
 }
 
+/// Per-shard stripe share of [`working_set_bytes`] under an even
+/// `shards`-way plan — the resident EPC footprint each shard enclave of
+/// the sharded deployment must hold (the transient broadcast segment,
+/// O(chunk·k) bytes, rides on top but is orders of magnitude smaller at
+/// production chunk sizes). This is the Section 5.3-style capacity math
+/// behind choosing S: the monolithic Advanced working set crosses the
+/// 96 MiB EPC near n = 10⁵ (the Figure 10 cliff); striping divides it.
+pub fn sharded_working_set_bytes(
+    kind: AggregatorKind,
+    n: usize,
+    k: usize,
+    d: usize,
+    shards: usize,
+) -> Vec<u64> {
+    ShardPlan::even(d, shards).split_charge(working_set_bytes(kind, n, k, d))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1035,6 +1200,58 @@ mod tests {
         let serial = run(1);
         for threads in [2usize, 4] {
             assert_eq!(serial, run(threads), "threads={threads} changed the global model");
+        }
+    }
+
+    /// The sharding contract at round level: the shard count is public
+    /// topology that must change neither the global model bits, nor the
+    /// signature, nor the aggregation trace — only the per-shard memory
+    /// accounting the report carries.
+    #[test]
+    fn shard_count_does_not_change_the_round() {
+        use olive_memsim::{Granularity, RecordingTracer};
+        let run = |shards: usize| {
+            let mut sys = tiny_system(AggregatorKind::Advanced, None);
+            sys.set_threads(1);
+            sys.set_shards(shards);
+            assert_eq!(sys.shards(), shards);
+            let mut tr = RecordingTracer::new(Granularity::Element);
+            let report = sys.run_round(&mut tr);
+            (sys.global_params(), tr.digest(), report)
+        };
+        let (ref_params, ref_digest, ref_report) = run(1);
+        assert!(ref_report.shard_peaks.is_empty(), "monolithic rounds report no shard peaks");
+        for shards in [2usize, 4, 8] {
+            let (params, digest, report) = run(shards);
+            assert_eq!(params, ref_params, "S={shards} changed the global model");
+            assert_eq!(digest, ref_digest, "S={shards} changed the aggregation trace");
+            assert_eq!(
+                report.model_signature, ref_report.model_signature,
+                "S={shards} changed the signed output"
+            );
+            assert_eq!(
+                report.working_set_bytes, ref_report.working_set_bytes,
+                "the canonical working-set report is shard-independent"
+            );
+            assert_eq!(report.shard_peaks.len(), shards);
+            assert!(report.shard_peaks.iter().all(|&p| p > 0), "every shard sees charges");
+        }
+    }
+
+    /// The capacity math the shard count is chosen by: at the paper's
+    /// production scale the monolithic Advanced working set overflows the
+    /// 96 MiB EPC (the Figure 10 cliff), and a 4-way stripe plan brings
+    /// every shard's resident share back under it.
+    #[test]
+    fn sharding_brings_paper_scale_advanced_under_epc() {
+        let (n, k, d) = (100_000, 128, 16_384);
+        let epc = 96u64 << 20;
+        let mono = working_set_bytes(AggregatorKind::Advanced, n, k, d);
+        assert!(mono > epc, "monolithic Advanced at n=1e5 must exceed the EPC ({mono} bytes)");
+        let stripes = sharded_working_set_bytes(AggregatorKind::Advanced, n, k, d, 4);
+        assert_eq!(stripes.iter().sum::<u64>(), mono, "stripe shares partition the footprint");
+        for (i, &p) in stripes.iter().enumerate() {
+            assert!(p < epc, "shard {i} share {p} must fit the 96 MiB EPC");
         }
     }
 

@@ -197,6 +197,21 @@ impl Enclave {
         self.engine
     }
 
+    /// The attestation transcript hash this enclave's session keys are
+    /// bound to, or `None` before [`Enclave::attest`] — the same guard
+    /// [`Enclave::register_client`] applies, for the enclave-to-enclave
+    /// tunnel layer.
+    pub(crate) fn attested_transcript(&self) -> Option<[u8; 32]> {
+        self.attested.then_some(self.transcript_salt)
+    }
+
+    /// The DH shared secret with a peer enclave's public value (tunnel
+    /// key agreement; the client-session path goes through
+    /// [`Enclave::register_client`] instead).
+    pub(crate) fn dh_shared(&self, peer_public: u64) -> [u8; 32] {
+        self.dh.shared_secret(peer_public)
+    }
+
     /// Produces the attestation report and obtains a platform quote.
     pub fn attest(&mut self, service: &AttestationService, user_data: &[u8]) -> Quote {
         let report = Report {

@@ -32,10 +32,12 @@
 pub mod attestation;
 pub mod channel;
 pub mod enclave;
+pub mod shard;
 
 pub use attestation::{AttestationError, AttestationService, Quote, Report};
 pub use channel::{ClientSession, SealedMessage};
 pub use enclave::{Enclave, EnclaveConfig, EpcBudget, TeeError};
+pub use shard::{ShardId, ShardTunnel, TunnelError, TunnelMessage, TunnelRole};
 
 /// User identifier type used across the FL protocol.
 pub type UserId = u32;

@@ -145,6 +145,56 @@ proptest! {
         }
     }
 
+    /// The sharding contract as a property: for an arbitrary placement of
+    /// stripe boundaries (any number of shards, any interior cut points),
+    /// the sharded aggregator reproduces the monolithic output bits and
+    /// trace digest exactly — shard-boundary placement never changes the
+    /// round, and every shard budget balances back to zero.
+    #[test]
+    fn shard_boundaries_never_change_the_result(
+        updates in updates_strategy(6, 32),
+        bounds in vec(1usize..32, 0..5),
+        chunk in 1usize..7,
+    ) {
+        use olive_core::aggregation::{ShardRuntime, ShardedAggregator};
+        use olive_memsim::ShardPlan;
+        use olive_tee::{AttestationService, Enclave, EnclaveConfig};
+        let d = 32;
+        let mut interior = bounds;
+        interior.sort_unstable();
+        interior.dedup();
+        let plan = ShardPlan::from_boundaries(d, &interior);
+        for kind in [AggregatorKind::Advanced, AggregatorKind::Grouped { h: 2 }] {
+            let mut one_tr = RecordingTracer::new(Granularity::Element);
+            let one = aggregate_with_threads(kind, &updates, d, 1, &mut one_tr);
+            let service = AttestationService::new([7u8; 32]);
+            let mut coordinator = Enclave::launch(&EnclaveConfig::default(), [8u8; 32]);
+            coordinator.attest(&service, b"shard-proptest");
+            let rt = ShardRuntime::provision_with_plan(
+                &service,
+                &mut coordinator,
+                b"shard-proptest",
+                [9u8; 32],
+                96 << 20,
+                plan.clone(),
+            );
+            let mut tr = RecordingTracer::new(Granularity::Element);
+            let mut agg = ShardedAggregator::new(kind, d, 1, rt);
+            for c in updates.chunks(chunk) {
+                agg.ingest(c, &mut tr);
+            }
+            let (got, _peaks, rt) = agg.finalize_with_peaks(&mut tr);
+            prop_assert!(rt.live().iter().all(|&b| b == 0),
+                "{:?} bounds={:?}: shard budgets must balance", kind, interior);
+            let one_bits: Vec<u32> = one.iter().map(|v| v.to_bits()).collect();
+            let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got_bits, one_bits,
+                "{:?} bounds={:?} chunk={}: output drifted", kind, interior, chunk);
+            prop_assert_eq!(tr.digest(), one_tr.digest(),
+                "{:?} bounds={:?} chunk={}: trace drifted", kind, interior, chunk);
+        }
+    }
+
     /// Bitonic sort sorts (against std) for arbitrary content and length.
     #[test]
     fn bitonic_sort_matches_std(data in vec(0u64..1_000_000, 0..200)) {
