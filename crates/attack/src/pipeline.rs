@@ -90,7 +90,7 @@ pub fn run_attack(
     for _ in 0..cfg.rounds {
         let params = sys.global_params();
         let mut tr = RecordingTracer::with_events(cfg.granularity).with_event_cap(cfg.event_cap);
-        let report = sys.run_round(&mut tr);
+        let report = sys.run_round(&mut tr).expect("fault-free attack rounds complete");
         let observation = observe_linear_aggregation(
             tr.events().expect("recording tracer retains events"),
             &report.processed_users,

@@ -25,6 +25,13 @@
 //! the timed `sharded_s{S}` benches (NonOblivious fold, like the other
 //! timed configs) price the tunnel transport itself.
 //!
+//! At n = 10k the sweep also prints one `recovery_overhead:` line —
+//! the cost of the per-chunk stripe checkpoint (sharded vs
+//! checkpointed-sharded, S = 4) and of one full mid-round shard
+//! failover (scripted kill at chunk 20 → relaunch, re-attest, restore
+//! from the sealed stripe checkpoint, resume), with the recovered
+//! delta asserted bitwise against the fault-free pass in-bench.
+//!
 //! `OLIVE_BENCH_FULL=1` includes n = 100k; the default sweep stops at
 //! 10k so the CI smoke job stays fast. Timings land in `OLIVE_BENCH_JSON`
 //! like every other bench.
@@ -32,7 +39,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use olive_bench::ingest::IngestionRig;
 use olive_core::aggregation::AggregatorKind;
-use olive_memsim::WorkingSet;
+use olive_memsim::{FaultPlan, WorkingSet};
 use std::cell::RefCell;
 
 const K: usize = 128;
@@ -141,6 +148,53 @@ fn bench_ingestion(c: &mut Criterion) {
                         delta
                     })
                 },
+            );
+        }
+
+        // The recovery-cost story, printed once at n = 10k: what the
+        // per-chunk stripe checkpoint costs on top of the plain sharded
+        // pass, and what one full mid-round shard failover costs on top
+        // of that. All three configurations run in the same pass set and
+        // the recovered delta is asserted bitwise against the fault-free
+        // one, so the line prices *recovery*, not drift.
+        if n == 10_000 {
+            const REPS: u32 = 3;
+            let shards = 4usize;
+            let kill_site = "kill@20.2";
+            let mut rig = rig.borrow_mut();
+            let mut rt = rig.provision_shards(shards);
+            let mut reference: Vec<u32> = Vec::new();
+            let mut totals = [0u64; 3]; // [sharded, checkpointed, failover]
+            for rep in 0..=REPS {
+                for (slot, &(ckpt, faulted)) in
+                    [(false, false), (true, false), (true, true)].iter().enumerate()
+                {
+                    let msgs = rig.seal_round();
+                    let plan =
+                        faulted.then(|| FaultPlan::parse(kill_site).expect("well-formed script"));
+                    let (delta, ns, back) =
+                        rig.sharded_pass_timed(&msgs, kind, CHUNK, rt, ckpt, plan);
+                    rt = back;
+                    let bits: Vec<u32> = delta.iter().map(|v| v.to_bits()).collect();
+                    if rep == 0 {
+                        reference = bits; // warm-up pass: discard the timing
+                    } else {
+                        totals[slot] += ns;
+                        assert_eq!(bits, reference, "recovered delta must match bitwise");
+                    }
+                }
+            }
+            let stats = rt.recovery_stats();
+            println!(
+                "recovery_overhead: {{\"n\":{n},\"k\":{K},\"d\":{D},\"chunk\":{CHUNK},\
+                 \"shards\":{shards},\"fault\":\"{kill_site}\",\"reps\":{REPS},\
+                 \"sharded_ns\":{},\"checkpointed_ns\":{},\"failover_ns\":{},\
+                 \"relaunches\":{},\"sim_backoff_ms\":{}}}",
+                totals[0] / REPS as u64,
+                totals[1] / REPS as u64,
+                totals[2] / REPS as u64,
+                stats.relaunches,
+                stats.backoff_ms,
             );
         }
     }

@@ -336,7 +336,8 @@ pub fn utility_run(
     let test = gen.sample_balanced(scale.pool_per_label, &mut rng);
     let mut series = Vec::with_capacity(rounds);
     for _ in 0..rounds {
-        let report = sys.run_round(&mut olive_memsim::NullTracer);
+        let report =
+            sys.run_round(&mut olive_memsim::NullTracer).expect("fault-free bench rounds complete");
         let (loss, acc) = sys.server.model.evaluate(&test.features, &test.labels, 64);
         series.push((loss, acc, report.epsilon_spent.unwrap_or(0.0)));
     }

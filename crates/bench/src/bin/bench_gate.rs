@@ -32,6 +32,10 @@ use std::process::ExitCode;
 
 /// Benches stable enough to gate on: small, arithmetic-bound kernels with
 /// no allocator churn. Prefix match against the `group/name/param` key.
+/// Reviewed for PR 8: `round_ingestion/sharded_*` stays informational
+/// (transport-plane timings are allocator-noisy at the smoke budget),
+/// and the `recovery_overhead:` report is a println side channel — it
+/// never enters the criterion JSON, so it is never gated.
 const STABLE_PREFIXES: &[&str] = &["aes_gcm/", "hmac/", "sha256/", "sort/", "sort_kernel/"];
 
 /// Default allowed regression, percent.

@@ -23,7 +23,7 @@ use olive_core::aggregation::{
 };
 use olive_core::olive::{open_and_decode, staged_chunk_bytes};
 use olive_fl::SparseGradient;
-use olive_memsim::{NullTracer, StateReader, StateWriter, WorkingSet};
+use olive_memsim::{FaultPlan, NullTracer, StateReader, StateWriter, WorkingSet};
 use olive_tee::{AttestationService, ClientSession, Enclave, EnclaveConfig, SealedMessage};
 use std::time::Instant;
 
@@ -93,6 +93,7 @@ impl IngestionRig {
             self.d,
             shards,
         )
+        .expect("bench provisioning is fault-free")
     }
 
     /// Clients provisioned.
@@ -173,7 +174,37 @@ impl IngestionRig {
             let staged = self.open_chunk(msg_chunk, true);
             agg.ingest(&staged, &mut NullTracer);
         }
-        agg.finalize_with_peaks(&mut NullTracer)
+        agg.finalize_with_peaks(&mut NullTracer).expect("bench rounds run without faults")
+    }
+
+    /// [`Self::sharded_streaming_pass`] with a wall-clock timer and the
+    /// chaos controls the `recovery_overhead:` report sweeps: the
+    /// per-chunk stripe checkpoint can be disabled (isolating its cost)
+    /// and a [`FaultPlan`] can be armed (measuring a full mid-round shard
+    /// failover — kill, relaunch, re-attest, checkpoint restore, resume).
+    /// Returns the delta, elapsed nanoseconds, and the runtime.
+    pub fn sharded_pass_timed(
+        &mut self,
+        msgs: &[SealedMessage],
+        kind: AggregatorKind,
+        chunk: usize,
+        mut rt: ShardRuntime,
+        checkpointing: bool,
+        faults: Option<FaultPlan>,
+    ) -> (Vec<f32>, u64, ShardRuntime) {
+        rt.set_checkpointing(checkpointing);
+        if let Some(plan) = faults {
+            rt.set_fault_plan(plan);
+        }
+        let t0 = Instant::now();
+        let mut agg = ShardedAggregator::new(kind, self.d, 1, rt);
+        for msg_chunk in msgs.chunks(chunk) {
+            let staged = self.open_chunk(msg_chunk, true);
+            agg.ingest(&staged, &mut NullTracer);
+        }
+        let (delta, _peaks, rt) =
+            agg.finalize_with_peaks(&mut NullTracer).expect("bench fault scripts stay recoverable");
+        (delta, t0.elapsed().as_nanos() as u64, rt)
     }
 
     /// Materialize-all pipeline: decode the entire round into enclave

@@ -25,7 +25,7 @@ use olive_oram::PosMapKind;
 
 use crate::parallel::default_threads;
 
-pub use sharded::{ShardRuntime, ShardedAggregator, SHARD_CODE_IDENTITY};
+pub use sharded::{ShardError, ShardFailure, ShardRuntime, ShardedAggregator, SHARD_CODE_IDENTITY};
 pub use streaming::{Aggregator, StreamingAggregator};
 
 /// Which aggregation algorithm the enclave runs (Section 5's lineup).

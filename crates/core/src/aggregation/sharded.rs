@@ -39,11 +39,46 @@
 //! signature and trace digest are bitwise identical at every shard count
 //! — the repo's hard invariant — while the per-shard budgets model what
 //! each enclave of the sharded deployment must hold.
+//!
+//! ## Faults and recovery
+//!
+//! A fleet of S enclaves will lose members mid-round, so every transport
+//! operation here is **fallible and recovering**, driven by a
+//! deterministic [`FaultPlan`] (tests, CI chaos pass, `OLIVE_FAULTS`):
+//!
+//! * delivery failures (frame tamper/drop, receipt corruption) are
+//!   retried under a bounded [`RetryPolicy`] with a *simulated* backoff
+//!   clock recorded in [`RecoveryStats`] — tunnel replay floors tolerate
+//!   the sequence gaps, so a retry is always safe;
+//! * a **shard kill** triggers mid-round failover: the runtime relaunches
+//!   the enclave under a fresh DH epoch (fresh tunnel keys — the dead
+//!   instance's AEAD nonce sequence can never be continued), re-attests
+//!   it under [`SHARD_CODE_IDENTITY`], rebuilds both tunnel ends via the
+//!   provisioning-time [`TunnelAnchor`], restores the shard's stripe
+//!   state from its newest sealed `"shard-ckpt"` blob, and resumes the
+//!   chunk stream. The checkpoint's monotonic counter floor is pinned
+//!   coordinator-side (standing in for rollback-protected NV storage),
+//!   so a rolled-back blob — the [`FaultKind::StaleSeal`] fault — is
+//!   rejected and the genuine newest one recovered instead, and a
+//!   relaunched shard can never reseal with a previously used nonce;
+//! * when the retry budget is exhausted the operation fails with a
+//!   structured [`ShardError`] naming the shard, the attempt count and
+//!   the final failure — never a panic — leaving the round restorable.
+//!
+//! All of this machinery lives strictly in the side-band transport plane:
+//! it emits no tracer events and never touches the canonical compute, so
+//! a recovered round is bitwise identical to the fault-free one **by
+//! construction** (and the fault proptests pin it).
 
 use olive_fl::SparseGradient;
-use olive_memsim::{ParallelTracer, ShardPlan, StateError};
+use olive_memsim::{
+    FaultKind, FaultPlan, ParallelTracer, RecoveryStats, RetryPolicy, ShardPlan, StateError,
+    StateReader, StateWriter, EGRESS_CHUNK,
+};
+use olive_tee::attestation::Measurement;
 use olive_tee::{
-    attestation::digest, AttestationService, Enclave, EnclaveConfig, ShardTunnel, TunnelRole,
+    attestation::digest, AttestationService, Enclave, EnclaveConfig, Quote, ShardTunnel, TeeError,
+    TunnelAnchor, TunnelError, TunnelRole,
 };
 
 use crate::aggregation::{Aggregator, AggregatorKind, StreamingAggregator};
@@ -65,6 +100,73 @@ const MSG_CELLS: u8 = 1;
 const MSG_STRIPE: u8 = 2;
 const MSG_RECEIPT: u8 = 3;
 
+/// Sealing label for per-shard stripe checkpoints (the shard-plane
+/// sibling of the coordinator's `"round-ckpt"` label).
+const SHARD_CKPT_LABEL: &[u8] = b"shard-ckpt";
+
+/// Version byte leading every shard checkpoint blob.
+const SHARD_CKPT_VERSION: u64 = 1;
+
+/// What finally went wrong with one shard operation after recovery was
+/// exhausted (the terminal failure of the last attempt).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardFailure {
+    /// Tunnel establishment or transport failed (attestation refused,
+    /// AEAD authentication failure, replay).
+    Tunnel(TunnelError),
+    /// A shard checkpoint failed to unseal on restore (tampered blob, or
+    /// a rollback below the pinned counter floor).
+    Seal(TeeError),
+    /// A tunnel frame was dropped in flight (the receiver never saw it).
+    Dropped,
+    /// A shard's egress receipt authenticated but named a stripe hash
+    /// other than the one the coordinator sealed.
+    ReceiptMismatch,
+    /// A killed shard had delivered chunks but no checkpoint to restore
+    /// them from (checkpointing disabled): its stripe state is gone.
+    StateLost,
+}
+
+impl core::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShardFailure::Tunnel(e) => write!(f, "tunnel failure: {e}"),
+            ShardFailure::Seal(e) => write!(f, "checkpoint failure: {e}"),
+            ShardFailure::Dropped => write!(f, "tunnel frame dropped"),
+            ShardFailure::ReceiptMismatch => write!(f, "stripe receipt hash mismatch"),
+            ShardFailure::StateLost => write!(f, "shard state lost (no checkpoint to restore)"),
+        }
+    }
+}
+
+impl std::error::Error for ShardFailure {}
+
+/// A structured shard-plane error: which shard failed, how many attempts
+/// recovery spent on it, and the terminal [`ShardFailure`]. Surfaced by
+/// every fallible [`ShardRuntime`] operation instead of a panic, so the
+/// round driver can abort cleanly with the round still restorable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardError {
+    /// The shard the operation targeted.
+    pub shard: u32,
+    /// Attempts consumed (1 = failed without retry budget left to spend).
+    pub attempts: u32,
+    /// The last attempt's failure.
+    pub failure: ShardFailure,
+}
+
+impl core::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "shard {} failed after {} attempt(s): {}",
+            self.shard, self.attempts, self.failure
+        )
+    }
+}
+
+impl std::error::Error for ShardError {}
+
 /// One shard enclave plus both endpoints of its coordinator tunnel (the
 /// simulation holds the whole deployment in one process, so the pair
 /// lives side by side; a real deployment holds one end per machine).
@@ -76,13 +178,70 @@ struct ShardState {
     /// inside the shard enclave by the fixed-shape scan; reported back in
     /// the egress receipt, never on the ingress wire).
     routed_cells: u64,
+    /// Chunks this shard has scanned this round (coordinator-side mirror
+    /// of the public chunk schedule — *not* of any private state).
+    chunks_done: u64,
+    /// The per-shard platform seed, kept so a relaunch rebuilds the same
+    /// sealing key (checkpoints must unseal across the restart).
+    seed: [u8; 32],
+    /// DH epoch of the current enclave incarnation; bumped on every
+    /// relaunch so each incarnation presents a fresh tunnel key share.
+    dh_epoch: u32,
+    /// Newest sealed stripe checkpoint, held in untrusted storage
+    /// (coordinator-side in the simulation).
+    ckpt_store: Option<Vec<u8>>,
+    /// The previous generation's blob — what a rollback attack (the
+    /// [`FaultKind::StaleSeal`] fault) serves a relaunched shard.
+    ckpt_prev: Option<Vec<u8>>,
+    /// Pinned monotonic floor for `"shard-ckpt"` blobs, standing in for
+    /// rollback-protected NV storage: it survives the enclave's death,
+    /// so a relaunched shard rejects every blob older than the newest
+    /// and — after unsealing — can never reseal with a reused nonce.
+    ckpt_floor: u64,
 }
 
-/// The provisioned shard plane: `S` shard enclaves, their tunnels, and
-/// the stripe plan that maps coordinates and charges onto them.
+/// The provisioned shard plane: `S` shard enclaves, their tunnels, the
+/// stripe plan that maps coordinates and charges onto them, and the
+/// failover machinery (attestation handle, tunnel anchor, fault plan,
+/// retry policy) that keeps the plane serving across shard deaths.
 pub struct ShardRuntime {
     plan: ShardPlan,
     shards: Vec<ShardState>,
+    /// Cloned platform handle, for re-attesting relaunched shards.
+    service: AttestationService,
+    /// The coordinator's quote (shards pin it when re-establishing).
+    coord_quote: Quote,
+    coord_measurement: Measurement,
+    /// The coordinator's tunnel identity, captured at provisioning — lets
+    /// the runtime bring up replacement tunnels mid-round without a
+    /// borrow of the coordinator enclave.
+    anchor: TunnelAnchor,
+    shard_cfg: EnclaveConfig,
+    /// Round epoch stamped into shard checkpoints (guards against a blob
+    /// from an earlier round restoring into the current one).
+    round_epoch: u64,
+    /// Absolute index of the next ingress chunk — the coordinate fault
+    /// events are addressed by (kept absolute across a coordinator
+    /// restore via [`ShardRuntime::skip_to_chunk`]).
+    chunk_cursor: u32,
+    /// Whether shards seal a stripe checkpoint after every chunk
+    /// (default on; the bench toggles it to price the overhead).
+    checkpointing: bool,
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    stats: RecoveryStats,
+}
+
+impl core::fmt::Debug for ShardRuntime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShardRuntime")
+            .field("shards", &self.shards.len())
+            .field("round_epoch", &self.round_epoch)
+            .field("chunk_cursor", &self.chunk_cursor)
+            .field("checkpointing", &self.checkpointing)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ShardRuntime {
@@ -104,7 +263,7 @@ impl ShardRuntime {
         epc_bytes: u64,
         d: usize,
         shards: usize,
-    ) -> Self {
+    ) -> Result<Self, ShardError> {
         Self::provision_with_plan(
             service,
             coordinator,
@@ -126,40 +285,65 @@ impl ShardRuntime {
         seed_bytes: [u8; 32],
         epc_bytes: u64,
         plan: ShardPlan,
-    ) -> Self {
+    ) -> Result<Self, ShardError> {
         let shards = plan.shards();
         let coord_quote = coordinator.attest(service, coordinator_context);
         let coord_measurement = coordinator.measurement();
+        let anchor = TunnelAnchor::capture(coordinator).map_err(|e| ShardError {
+            shard: 0,
+            attempts: 1,
+            failure: ShardFailure::Tunnel(e),
+        })?;
         let shard_cfg = EnclaveConfig { code_identity: SHARD_CODE_IDENTITY.to_string(), epc_bytes };
-        let states = (0..shards)
-            .map(|i| {
-                let mut seed = seed_bytes;
-                seed[16..20].copy_from_slice(&(i as u32).to_be_bytes());
-                seed[20] ^= 0x5D;
-                let mut enclave = Enclave::launch(&shard_cfg, seed);
-                let shard_quote = enclave.attest(service, SHARD_ATTEST_CONTEXT);
-                let coord_end = ShardTunnel::establish(
-                    TunnelRole::Coordinator,
-                    coordinator,
-                    service.public_key(),
-                    &enclave.measurement(),
-                    &shard_quote,
-                    i as u32,
-                )
-                .expect("shard quote is genuine in the simulation");
-                let shard_end = ShardTunnel::establish(
-                    TunnelRole::Shard,
-                    &enclave,
-                    service.public_key(),
-                    &coord_measurement,
-                    &coord_quote,
-                    i as u32,
-                )
-                .expect("coordinator quote is genuine in the simulation");
-                ShardState { enclave, coord_end, shard_end, routed_cells: 0 }
-            })
-            .collect();
-        ShardRuntime { plan, shards: states }
+        let mut states = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let mut seed = seed_bytes;
+            seed[16..20].copy_from_slice(&(i as u32).to_be_bytes());
+            seed[20] ^= 0x5D;
+            let mut enclave = Enclave::launch(&shard_cfg, seed);
+            let shard_quote = enclave.attest(service, SHARD_ATTEST_CONTEXT);
+            let fail =
+                |e| ShardError { shard: i as u32, attempts: 1, failure: ShardFailure::Tunnel(e) };
+            let coord_end = anchor
+                .establish(service.public_key(), &enclave.measurement(), &shard_quote, i as u32)
+                .map_err(fail)?;
+            let shard_end = ShardTunnel::establish(
+                TunnelRole::Shard,
+                &enclave,
+                service.public_key(),
+                &coord_measurement,
+                &coord_quote,
+                i as u32,
+            )
+            .map_err(fail)?;
+            states.push(ShardState {
+                enclave,
+                coord_end,
+                shard_end,
+                routed_cells: 0,
+                chunks_done: 0,
+                seed,
+                dh_epoch: 0,
+                ckpt_store: None,
+                ckpt_prev: None,
+                ckpt_floor: 0,
+            });
+        }
+        Ok(ShardRuntime {
+            plan,
+            shards: states,
+            service: service.clone(),
+            coord_quote,
+            coord_measurement,
+            anchor,
+            shard_cfg,
+            round_epoch: 0,
+            chunk_cursor: 0,
+            checkpointing: true,
+            faults: FaultPlan::empty(),
+            retry: RetryPolicy::default(),
+            stats: RecoveryStats::default(),
+        })
     }
 
     /// Number of shards.
@@ -172,12 +356,49 @@ impl ShardRuntime {
         &self.plan
     }
 
+    /// Arms an explicit fault script for the rounds that follow
+    /// (replacing whatever plan — scripted or environmental — was armed).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Recovery work done over this runtime's lifetime.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// Enables/disables the per-chunk stripe checkpoint (on by default;
+    /// with it off, a mid-stream shard kill is unrecoverable — the bench
+    /// uses the toggle to price the checkpoint overhead).
+    pub fn set_checkpointing(&mut self, on: bool) {
+        self.checkpointing = on;
+    }
+
+    /// Re-aligns the absolute chunk cursor after a coordinator restore,
+    /// so fault events keep firing at their scripted absolute chunk
+    /// indices in the resumed half of the round.
+    pub fn skip_to_chunk(&mut self, chunks_done: usize) {
+        self.chunk_cursor = chunks_done as u32;
+    }
+
     /// Opens a fresh per-round accounting epoch on every shard budget
-    /// (mirrors [`Enclave::begin_round`]'s epoch on the coordinator).
+    /// (mirrors [`Enclave::begin_round`]'s epoch on the coordinator),
+    /// resets the per-round transport state, and — when no explicit
+    /// fault script is armed — arms the `OLIVE_FAULTS` environment plan
+    /// for the new round (the CI chaos pass's entry point).
     pub fn begin_round(&mut self) {
+        self.round_epoch += 1;
+        self.chunk_cursor = 0;
         for sh in &mut self.shards {
             sh.enclave.epc.begin_epoch();
             sh.routed_cells = 0;
+            sh.chunks_done = 0;
+            // Checkpoint blobs are per-round; the pinned floor is not.
+            sh.ckpt_store = None;
+            sh.ckpt_prev = None;
+        }
+        if self.faults.is_empty() {
+            self.faults = FaultPlan::from_env();
         }
     }
 
@@ -203,30 +424,24 @@ impl ShardRuntime {
     /// the enclave and keeps its stripe's cells, so per-shard counts stay
     /// enclave-private. The decrypted segment is a transient EPC charge
     /// on each shard for the duration of the scan.
-    pub fn ingress_chunk(&mut self, staged: &[SparseGradient]) {
+    ///
+    /// Every delivery runs under the fault plan and retry policy; a shard
+    /// kill triggers mid-round failover (relaunch, re-attest, rekey,
+    /// restore from checkpoint). Exhausted recovery returns a
+    /// [`ShardError`]; the chunk cursor then stays put, so the round can
+    /// be restored and the chunk re-broadcast.
+    pub fn ingress_chunk(&mut self, staged: &[SparseGradient]) -> Result<(), ShardError> {
         let cells = concat_cells(staged);
         let mut payload = Vec::with_capacity(cells.len() * 8);
         for c in &cells {
             payload.extend_from_slice(&c.to_le_bytes());
         }
-        for (i, sh) in self.shards.iter_mut().enumerate() {
-            let msg = sh.coord_end.seal(MSG_CELLS, &payload);
-            let transient = payload.len() as u64;
-            sh.enclave.epc.alloc(transient);
-            let plain = sh.shard_end.open(&msg).expect("own tunnel frames authenticate");
-            let range = self.plan.range(i);
-            let mut routed = 0u64;
-            for cell_bytes in plain.chunks_exact(8) {
-                let cell = u64::from_le_bytes(cell_bytes.try_into().expect("8-byte cell"));
-                let idx = cell_index(cell);
-                // Branch-free keep decision: every shard touches every
-                // cell of the segment regardless of ownership.
-                let keep = (idx != DUMMY_INDEX) & range.contains(&(idx as usize));
-                routed += u64::from(keep);
-            }
-            sh.routed_cells += routed;
-            sh.enclave.epc.free(transient);
+        let chunk = self.chunk_cursor;
+        for i in 0..self.shards.len() {
+            self.deliver_with_recovery(i, chunk, &payload)?;
         }
+        self.chunk_cursor += 1;
+        Ok(())
     }
 
     /// Distributes the finalized delta stripewise to the shards and folds
@@ -236,43 +451,269 @@ impl ShardRuntime {
     /// verifies every receipt against the stripe it sealed, so the
     /// reassembled delta is bitwise the canonical one by construction.
     ///
-    /// # Panics
-    /// If a receipt's stripe hash disagrees with what the coordinator
-    /// sent — transport corruption, impossible in the in-process
-    /// simulation short of a bug.
-    pub fn egress_round(&mut self, delta: &[f32]) -> Vec<f32> {
+    /// Egress-phase faults (kill/tamper/drop at [`EGRESS_CHUNK`], receipt
+    /// corruption) recover exactly like ingress ones; exhaustion returns
+    /// a [`ShardError`] with the round still restorable.
+    pub fn egress_round(&mut self, delta: &[f32]) -> Result<Vec<f32>, ShardError> {
         assert_eq!(delta.len(), self.plan.d(), "delta dimension must match the plan");
         let mut out = Vec::with_capacity(delta.len());
-        for (i, sh) in self.shards.iter_mut().enumerate() {
+        for i in 0..self.shards.len() {
             let stripe = &delta[self.plan.range(i)];
             let mut bytes = Vec::with_capacity(stripe.len() * 4);
             for v in stripe {
                 bytes.extend_from_slice(&v.to_bits().to_le_bytes());
             }
-            let down = sh.coord_end.seal(MSG_STRIPE, &bytes);
-            let transient = bytes.len() as u64;
-            sh.enclave.epc.alloc(transient);
-            let held = sh.shard_end.open(&down).expect("own tunnel frames authenticate");
-            let mut receipt = digest(&held).to_vec();
-            receipt.extend_from_slice(&sh.routed_cells.to_be_bytes());
-            let up = sh.shard_end.seal(MSG_RECEIPT, &receipt);
-            let opened = sh.coord_end.open(&up).expect("own tunnel frames authenticate");
-            assert_eq!(
-                opened[..32],
-                digest(&bytes)[..],
-                "shard {i} receipt hash must match the sealed stripe"
-            );
-            for v in held.chunks_exact(4) {
-                out.push(f32::from_bits(u32::from_le_bytes(v.try_into().expect("4-byte f32"))));
-            }
-            sh.enclave.epc.free(transient);
-            sh.routed_cells = 0;
+            let held = self.egress_with_recovery(i, &bytes)?;
+            out.extend_from_slice(&held);
+            self.shards[i].routed_cells = 0;
         }
-        out
+        Ok(out)
+    }
+
+    /// One shard's chunk delivery under the retry/failover loop.
+    fn deliver_with_recovery(
+        &mut self,
+        i: usize,
+        chunk: u32,
+        payload: &[u8],
+    ) -> Result<(), ShardError> {
+        let shard = i as u32;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if attempts > 1 {
+                self.stats.retries += 1;
+                self.stats.backoff_ms += self.retry.backoff_ms(attempts);
+            }
+            if self.faults.fire(FaultKind::ShardKill, chunk, shard) {
+                self.relaunch_shard(i).map_err(|failure| ShardError {
+                    shard,
+                    attempts,
+                    failure,
+                })?;
+            }
+            match self.try_deliver(i, chunk, payload) {
+                Ok(()) => {
+                    if self.checkpointing {
+                        self.checkpoint_shard(i);
+                    }
+                    return Ok(());
+                }
+                Err(failure) => {
+                    if attempts >= self.retry.max_attempts {
+                        return Err(ShardError { shard, attempts, failure });
+                    }
+                }
+            }
+        }
+    }
+
+    /// One delivery attempt: seal, (faultable) transport, open, scan.
+    fn try_deliver(&mut self, i: usize, chunk: u32, payload: &[u8]) -> Result<(), ShardFailure> {
+        let shard = i as u32;
+        let range = self.plan.range(i);
+        let sh = &mut self.shards[i];
+        let mut msg = sh.coord_end.seal(MSG_CELLS, payload);
+        if self.faults.fire(FaultKind::TunnelDrop, chunk, shard) {
+            // The frame never arrives; the send sequence number is
+            // burned, which the receiver's floor tolerates as a gap.
+            return Err(ShardFailure::Dropped);
+        }
+        if self.faults.fire(FaultKind::TunnelTamper, chunk, shard) {
+            msg.tamper();
+        }
+        let transient = payload.len() as u64;
+        sh.enclave.epc.alloc(transient);
+        let plain = match sh.shard_end.open(&msg) {
+            Ok(p) => p,
+            Err(e) => {
+                sh.enclave.epc.free(transient);
+                return Err(ShardFailure::Tunnel(e));
+            }
+        };
+        let mut routed = 0u64;
+        for cell_bytes in plain.chunks_exact(8) {
+            let cell = u64::from_le_bytes(cell_bytes.try_into().expect("8-byte cell"));
+            let idx = cell_index(cell);
+            // Branch-free keep decision: every shard touches every
+            // cell of the segment regardless of ownership.
+            let keep = (idx != DUMMY_INDEX) & range.contains(&(idx as usize));
+            routed += u64::from(keep);
+        }
+        sh.routed_cells += routed;
+        sh.chunks_done += 1;
+        sh.enclave.epc.free(transient);
+        Ok(())
+    }
+
+    /// One shard's stripe egress under the retry/failover loop.
+    fn egress_with_recovery(&mut self, i: usize, bytes: &[u8]) -> Result<Vec<f32>, ShardError> {
+        let shard = i as u32;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if attempts > 1 {
+                self.stats.retries += 1;
+                self.stats.backoff_ms += self.retry.backoff_ms(attempts);
+            }
+            if self.faults.fire(FaultKind::ShardKill, EGRESS_CHUNK, shard) {
+                self.relaunch_shard(i).map_err(|failure| ShardError {
+                    shard,
+                    attempts,
+                    failure,
+                })?;
+            }
+            match self.try_egress(i, bytes) {
+                Ok(held) => return Ok(held),
+                Err(failure) => {
+                    if attempts >= self.retry.max_attempts {
+                        return Err(ShardError { shard, attempts, failure });
+                    }
+                }
+            }
+        }
+    }
+
+    /// One egress attempt: stripe down, receipt up, hash check.
+    fn try_egress(&mut self, i: usize, bytes: &[u8]) -> Result<Vec<f32>, ShardFailure> {
+        let shard = i as u32;
+        let sh = &mut self.shards[i];
+        let mut down = sh.coord_end.seal(MSG_STRIPE, bytes);
+        if self.faults.fire(FaultKind::TunnelDrop, EGRESS_CHUNK, shard) {
+            return Err(ShardFailure::Dropped);
+        }
+        if self.faults.fire(FaultKind::TunnelTamper, EGRESS_CHUNK, shard) {
+            down.tamper();
+        }
+        let transient = bytes.len() as u64;
+        sh.enclave.epc.alloc(transient);
+        let held = match sh.shard_end.open(&down) {
+            Ok(p) => p,
+            Err(e) => {
+                sh.enclave.epc.free(transient);
+                return Err(ShardFailure::Tunnel(e));
+            }
+        };
+        let mut receipt = digest(&held).to_vec();
+        receipt.extend_from_slice(&sh.routed_cells.to_be_bytes());
+        // A receipt-corruption fault models a faulty shard *computing* the
+        // wrong receipt: the frame authenticates, the content is wrong, and
+        // the coordinator's hash compare catches it. (Frame-level tampering
+        // is TunnelTamper's job and dies at the AEAD instead.)
+        if self.faults.fire(FaultKind::ReceiptCorrupt, EGRESS_CHUNK, shard) {
+            receipt[0] ^= 0x01;
+        }
+        let up = sh.shard_end.seal(MSG_RECEIPT, &receipt);
+        let opened = match sh.coord_end.open(&up) {
+            Ok(p) => p,
+            Err(e) => {
+                sh.enclave.epc.free(transient);
+                return Err(ShardFailure::Tunnel(e));
+            }
+        };
+        if opened[..32] != digest(bytes)[..] {
+            sh.enclave.epc.free(transient);
+            return Err(ShardFailure::ReceiptMismatch);
+        }
+        let mut out = Vec::with_capacity(bytes.len() / 4);
+        for v in held.chunks_exact(4) {
+            out.push(f32::from_bits(u32::from_le_bytes(v.try_into().expect("4-byte f32"))));
+        }
+        sh.enclave.epc.free(transient);
+        Ok(out)
+    }
+
+    /// Seals the shard's stripe state (`round_epoch`, `chunks_done`,
+    /// `routed_cells`) under the `"shard-ckpt"` label inside the shard
+    /// enclave and parks the blob in untrusted storage, advancing the
+    /// pinned counter floor. The previous blob is kept around as the
+    /// rollback-attack corpus for the [`FaultKind::StaleSeal`] fault.
+    fn checkpoint_shard(&mut self, i: usize) {
+        let sh = &mut self.shards[i];
+        let mut w = StateWriter::new();
+        w.put_u64(SHARD_CKPT_VERSION);
+        w.put_u64(self.round_epoch);
+        w.put_u64(sh.chunks_done);
+        w.put_u64(sh.routed_cells);
+        let blob = sh.enclave.seal(&w.into_bytes(), SHARD_CKPT_LABEL);
+        let counter = u64::from_be_bytes(blob[..8].try_into().expect("8-byte counter prefix"));
+        sh.ckpt_floor = sh.ckpt_floor.max(counter);
+        sh.ckpt_prev = sh.ckpt_store.take();
+        sh.ckpt_store = Some(blob);
+    }
+
+    /// Mid-round shard failover: relaunch the enclave under the next DH
+    /// epoch, re-attest it, rebuild both tunnel ends (fresh keys on both
+    /// sides — the anchor supplies the coordinator half), and restore the
+    /// stripe state from the newest checkpoint under the pinned floor.
+    /// A stale blob served by the untrusted store is rejected
+    /// ([`TeeError::StaleSeal`]) and the genuine newest one loaded
+    /// instead — one extra (counted, backed-off) recovery step.
+    fn relaunch_shard(&mut self, i: usize) -> Result<(), ShardFailure> {
+        self.stats.relaunches += 1;
+        let shard = i as u32;
+        let sh = &mut self.shards[i];
+        sh.dh_epoch += 1;
+        let mut enclave = Enclave::launch_with_dh_epoch(&self.shard_cfg, sh.seed, sh.dh_epoch);
+        let shard_quote = enclave.attest(&self.service, SHARD_ATTEST_CONTEXT);
+        let coord_end = self
+            .anchor
+            .establish(self.service.public_key(), &enclave.measurement(), &shard_quote, shard)
+            .map_err(ShardFailure::Tunnel)?;
+        let shard_end = ShardTunnel::establish(
+            TunnelRole::Shard,
+            &enclave,
+            self.service.public_key(),
+            &self.coord_measurement,
+            &self.coord_quote,
+            shard,
+        )
+        .map_err(ShardFailure::Tunnel)?;
+        // Restore the stripe state. The untrusted store may serve a
+        // rolled-back blob (the StaleSeal fault); the pinned floor
+        // catches it and recovery falls back to the genuine newest.
+        let (chunks_done, routed_cells) = if let Some(newest) = sh.ckpt_store.as_ref() {
+            let stale_served = sh.ckpt_prev.is_some()
+                && self.faults.fire(FaultKind::StaleSeal, EGRESS_CHUNK, shard);
+            let floor = sh.ckpt_floor;
+            let epoch = self.round_epoch;
+            let restored = if stale_served {
+                let prev = sh.ckpt_prev.as_ref().expect("stale_served implies a prev blob");
+                match restore_ckpt(&mut enclave, prev, floor, epoch) {
+                    Err(ShardFailure::Seal(TeeError::StaleSeal)) => {
+                        // Rollback detected: count the extra fetch of the
+                        // genuine blob as one recovery retry.
+                        self.stats.retries += 1;
+                        self.stats.backoff_ms += self.retry.backoff_ms(2);
+                        None
+                    }
+                    other => Some(other),
+                }
+            } else {
+                None
+            };
+            match restored {
+                Some(done) => done?,
+                None => restore_ckpt(&mut enclave, newest, floor, epoch)?,
+            }
+        } else if sh.chunks_done > 0 {
+            // Chunks were delivered but never checkpointed: the stripe
+            // state died with the enclave.
+            return Err(ShardFailure::StateLost);
+        } else {
+            (0, 0)
+        };
+        sh.enclave = enclave;
+        sh.coord_end = coord_end;
+        sh.shard_end = shard_end;
+        sh.chunks_done = chunks_done;
+        sh.routed_cells = routed_cells;
+        Ok(())
     }
 
     /// Per-shard EPC peaks (bytes) for the current accounting epoch, in
-    /// shard order.
+    /// shard order (a relaunched shard's peak restarts with its new
+    /// incarnation).
     pub fn peaks(&self) -> Vec<u64> {
         self.shards.iter().map(|sh| sh.enclave.epc.peak).collect()
     }
@@ -293,6 +734,36 @@ impl ShardRuntime {
     pub fn routed_cells(&self) -> Vec<u64> {
         self.shards.iter().map(|sh| sh.routed_cells).collect()
     }
+
+    /// Each shard's newest checkpoint counter (test hook for the
+    /// seal-counter continuity regression: counters must be strictly
+    /// monotone across relaunches, or a reseal would reuse a nonce).
+    pub fn ckpt_counters(&self) -> Vec<u64> {
+        self.shards.iter().map(|sh| sh.ckpt_floor).collect()
+    }
+}
+
+/// Unseals and decodes one shard checkpoint inside `enclave`, enforcing
+/// the pinned counter floor and the current round epoch.
+fn restore_ckpt(
+    enclave: &mut Enclave,
+    blob: &[u8],
+    floor: u64,
+    round_epoch: u64,
+) -> Result<(u64, u64), ShardFailure> {
+    let plain =
+        enclave.unseal_with_floor(blob, SHARD_CKPT_LABEL, floor).map_err(ShardFailure::Seal)?;
+    let corrupt = |_: StateError| ShardFailure::Seal(TeeError::AuthFailure);
+    let mut r = StateReader::new(&plain);
+    let version = r.get_u64().map_err(corrupt)?;
+    let epoch = r.get_u64().map_err(corrupt)?;
+    if version != SHARD_CKPT_VERSION || epoch != round_epoch {
+        // Genuine blob, wrong generation: a cross-round rollback.
+        return Err(ShardFailure::Seal(TeeError::StaleSeal));
+    }
+    let chunks_done = r.get_u64().map_err(corrupt)?;
+    let routed_cells = r.get_u64().map_err(corrupt)?;
+    Ok((chunks_done, routed_cells))
 }
 
 /// A [`StreamingAggregator`] wrapped in the shard plane: same canonical
@@ -301,10 +772,17 @@ impl ShardRuntime {
 /// driver (`OliveSystem`) threads the same [`ShardRuntime`] machinery
 /// through its own richer charge schedule; this wrapper is the
 /// self-contained form for benches and equivalence tests.
+///
+/// Transport failures surface at the seam's edges: a [`ShardError`] from
+/// ingress is latched (further transport is skipped — the round is
+/// already lost) and returned by [`ShardedAggregator::finalize_with_peaks`];
+/// the trait's infallible [`Aggregator::finalize`] panics on a latched
+/// fault and is for fault-free use only.
 pub struct ShardedAggregator {
     inner: StreamingAggregator,
     rt: ShardRuntime,
     resident: u64,
+    fault: Option<ShardError>,
 }
 
 impl ShardedAggregator {
@@ -317,43 +795,65 @@ impl ShardedAggregator {
         let resident = inner.resident_bytes();
         rt.begin_round();
         rt.alloc_split(resident);
-        ShardedAggregator { inner, rt, resident }
+        ShardedAggregator { inner, rt, resident, fault: None }
+    }
+
+    /// Arms a fault script on the underlying runtime.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.rt.set_fault_plan(plan);
     }
 
     /// [`Aggregator::finalize`] that also hands back the per-shard EPC
-    /// peaks (and the runtime, for reuse across rounds).
+    /// peaks (and the runtime, for reuse across rounds) — or the latched
+    /// / egress [`ShardError`] when the transport plane failed.
     pub fn finalize_with_peaks<TR: ParallelTracer>(
         self,
         tr: &mut TR,
-    ) -> (Vec<f32>, Vec<u64>, ShardRuntime) {
-        let ShardedAggregator { inner, mut rt, resident } = self;
+    ) -> Result<(Vec<f32>, Vec<u64>, ShardRuntime), ShardError> {
+        let ShardedAggregator { inner, mut rt, resident, fault } = self;
+        if let Some(e) = fault {
+            return Err(e);
+        }
         let fin_scratch = inner.finalize_scratch_bytes();
         rt.alloc_split(fin_scratch);
         let delta = inner.finalize(tr);
-        let out = rt.egress_round(&delta);
+        let out = rt.egress_round(&delta)?;
         rt.free_split(fin_scratch);
         rt.free_split(resident);
         let peaks = rt.peaks();
-        (out, peaks, rt)
+        Ok((out, peaks, rt))
     }
 }
 
 impl Aggregator for ShardedAggregator {
     fn ingest<TR: ParallelTracer>(&mut self, chunk: &[SparseGradient], tr: &mut TR) {
-        let k = chunk.iter().map(|u| u.k()).max().unwrap_or(0);
-        let scratch = self.inner.ingest_scratch_bytes(chunk.len(), k);
-        self.rt.alloc_split(scratch);
-        self.rt.ingress_chunk(chunk);
+        if self.fault.is_none() {
+            let k = chunk.iter().map(|u| u.k()).max().unwrap_or(0);
+            let scratch = self.inner.ingest_scratch_bytes(chunk.len(), k);
+            self.rt.alloc_split(scratch);
+            if let Err(e) = self.rt.ingress_chunk(chunk) {
+                self.fault = Some(e);
+            }
+            self.rt.free_split(scratch);
+        }
+        // Canonical compute continues regardless: it defines the trace
+        // and output the bitwise invariants speak about, and a latched
+        // fault is surfaced at finalize time.
         self.inner.ingest(chunk, tr);
-        self.rt.free_split(scratch);
-        let now = self.inner.resident_bytes();
-        self.rt.free_split(self.resident);
-        self.rt.alloc_split(now);
-        self.resident = now;
+        if self.fault.is_none() {
+            let now = self.inner.resident_bytes();
+            self.rt.free_split(self.resident);
+            self.rt.alloc_split(now);
+            self.resident = now;
+        }
     }
 
+    /// # Panics
+    /// On a latched transport fault — this trait face is infallible and
+    /// serves the fault-free equivalence suites; fallible callers use
+    /// [`ShardedAggregator::finalize_with_peaks`].
     fn finalize<TR: ParallelTracer>(self, tr: &mut TR) -> Vec<f32> {
-        self.finalize_with_peaks(tr).0
+        self.finalize_with_peaks(tr).expect("fault-free round").0
     }
 
     fn clients(&self) -> usize {
@@ -389,7 +889,7 @@ impl Aggregator for ShardedAggregator {
 mod tests {
     use super::*;
     use crate::aggregation::test_support::random_updates;
-    use olive_memsim::NullTracer;
+    use olive_memsim::{FaultEvent, NullTracer};
 
     fn runtime(d: usize, shards: usize, seed: u8) -> ShardRuntime {
         let service = AttestationService::new([seed; 32]);
@@ -404,6 +904,7 @@ mod tests {
             d,
             shards,
         )
+        .expect("provisioning succeeds in the simulation")
     }
 
     #[test]
@@ -421,7 +922,8 @@ mod tests {
             for chunk in updates.chunks(5) {
                 agg.ingest(chunk, &mut NullTracer);
             }
-            let (got, peaks, rt) = agg.finalize_with_peaks(&mut NullTracer);
+            let (got, peaks, rt) =
+                agg.finalize_with_peaks(&mut NullTracer).expect("fault-free round");
             assert_eq!(peaks.len(), shards);
             assert!(rt.live().iter().all(|&b| b == 0), "S={shards}: budgets must balance");
             let same = want.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
@@ -452,7 +954,7 @@ mod tests {
         for chunk in updates.chunks(10) {
             agg.ingest(chunk, &mut NullTracer);
         }
-        let (_, peaks, _) = agg.finalize_with_peaks(&mut NullTracer);
+        let (_, peaks, _) = agg.finalize_with_peaks(&mut NullTracer).expect("fault-free round");
         // Each stripe's share of the monolithic working set is ~1/4; the
         // broadcast transient adds the full chunk segment. Peaks must be
         // far below the monolithic footprint but nonzero.
@@ -484,5 +986,136 @@ mod tests {
         let got = sharded.finalize(&mut NullTracer);
         let same = want.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
         assert!(same, "sharded and monolithic continuations must agree bitwise");
+    }
+
+    /// A faulted round — kills, tampers, drops, receipt corruption, a
+    /// stale-seal rollback on restore — recovers to the *bitwise* same
+    /// output as the fault-free round, and the routed-cell partition
+    /// stays exact (the shard checkpoints carry it across relaunches).
+    #[test]
+    fn scripted_faults_recover_bitwise() {
+        let (d, n, k) = (96, 24, 6);
+        let updates = random_updates(n, k, d, 17);
+        let run = |plan: FaultPlan| {
+            let mut agg = ShardedAggregator::new(AggregatorKind::Advanced, d, 1, runtime(d, 4, 5));
+            agg.set_fault_plan(plan);
+            for chunk in updates.chunks(5) {
+                agg.ingest(chunk, &mut NullTracer);
+            }
+            let routed = agg.rt.routed_cells();
+            let (out, _, rt) = agg.finalize_with_peaks(&mut NullTracer).expect("recovers");
+            (out, routed, rt.recovery_stats())
+        };
+        let (want, routed_clean, _) = run(FaultPlan::empty());
+        let plan = FaultPlan::parse(
+            "kill@2.1,stale@e.1,tamper@1.0,drop@3.2,tamper@e.3,receipt@e.0,kill@e.2",
+        )
+        .expect("well-formed script");
+        let (got, routed_faulted, stats) = run(plan);
+        assert_eq!(routed_faulted, routed_clean, "checkpoints must carry routed counts");
+        let same = want.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "recovered round must be bitwise the fault-free one");
+        assert_eq!(stats.relaunches, 2, "both kills trigger failover");
+        assert!(stats.retries >= 4, "tampers/drops/receipt/stale each cost a retry");
+        assert!(stats.backoff_ms > 0, "retries accrue simulated backoff");
+    }
+
+    /// Satellite regression (the shard sibling of the coordinator's PR 4
+    /// test): across relaunch → unseal → reseal, the shard's checkpoint
+    /// counters stay strictly monotone — the pinned floor survives the
+    /// enclave's death, so no incarnation can ever reuse a sealing nonce
+    /// or accept a rolled-back blob.
+    #[test]
+    fn shard_seal_counter_continuity_across_relaunch() {
+        let (d, n, k) = (64, 16, 4);
+        let updates = random_updates(n, k, d, 19);
+        let mut agg = ShardedAggregator::new(AggregatorKind::NonOblivious, d, 1, runtime(d, 2, 6));
+        // Two kills of shard 0, the second served a rolled-back blob.
+        agg.set_fault_plan(
+            FaultPlan::parse("kill@2.0,kill@3.0,stale@e.0").expect("well-formed script"),
+        );
+        let mut floors_seen = vec![0u64];
+        for chunk in updates.chunks(4) {
+            agg.ingest(chunk, &mut NullTracer);
+            let f = agg.rt.ckpt_counters()[0];
+            assert!(
+                f > *floors_seen.last().expect("seeded"),
+                "checkpoint counter must advance strictly past {floors_seen:?}"
+            );
+            floors_seen.push(f);
+        }
+        let (_, _, rt) = agg.finalize_with_peaks(&mut NullTracer).expect("recovers");
+        let stats = rt.recovery_stats();
+        assert_eq!(stats.relaunches, 2);
+        assert!(stats.retries >= 1, "the stale blob costs one recovery retry");
+    }
+
+    /// Exhausting the retry budget yields a structured error naming the
+    /// shard, the attempts, and the terminal failure — never a panic.
+    #[test]
+    fn recovery_exhaustion_is_a_structured_error() {
+        let (d, n, k) = (64, 8, 4);
+        let updates = random_updates(n, k, d, 23);
+        let stacked = vec![
+            FaultEvent { kind: FaultKind::TunnelTamper, chunk: 0, shard: 1 };
+            RetryPolicy::MAX_ATTEMPTS as usize
+        ];
+        let mut agg = ShardedAggregator::new(AggregatorKind::NonOblivious, d, 1, runtime(d, 2, 8));
+        agg.set_fault_plan(FaultPlan::from_events(stacked));
+        agg.ingest(&updates, &mut NullTracer);
+        let err = agg.finalize_with_peaks(&mut NullTracer).expect_err("budget exhausted");
+        assert_eq!(
+            err,
+            ShardError {
+                shard: 1,
+                attempts: RetryPolicy::MAX_ATTEMPTS,
+                failure: ShardFailure::Tunnel(TunnelError::AuthFailure),
+            }
+        );
+        // Drops exhaust to their own terminal failure.
+        let dropped = vec![
+            FaultEvent { kind: FaultKind::TunnelDrop, chunk: EGRESS_CHUNK, shard: 0 };
+            RetryPolicy::MAX_ATTEMPTS as usize
+        ];
+        let mut agg = ShardedAggregator::new(AggregatorKind::NonOblivious, d, 1, runtime(d, 2, 9));
+        agg.set_fault_plan(FaultPlan::from_events(dropped));
+        agg.ingest(&updates, &mut NullTracer);
+        let err = agg.finalize_with_peaks(&mut NullTracer).expect_err("egress exhausted");
+        assert_eq!(err.failure, ShardFailure::Dropped);
+        assert_eq!(err.shard, 0);
+    }
+
+    /// A mid-stream kill with checkpointing disabled is honest about the
+    /// loss: structured `StateLost`, not silently wrong routed counts.
+    #[test]
+    fn kill_without_checkpoints_reports_state_lost() {
+        let (d, n, k) = (64, 8, 4);
+        let updates = random_updates(n, k, d, 29);
+        let mut rt = runtime(d, 2, 10);
+        rt.set_checkpointing(false);
+        let mut agg = ShardedAggregator::new(AggregatorKind::NonOblivious, d, 1, rt);
+        agg.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+            kind: FaultKind::ShardKill,
+            chunk: 1,
+            shard: 0,
+        }]));
+        for chunk in updates.chunks(4) {
+            agg.ingest(chunk, &mut NullTracer);
+        }
+        let err = agg.finalize_with_peaks(&mut NullTracer).expect_err("unrecoverable");
+        assert_eq!(err.failure, ShardFailure::StateLost);
+        // A kill before any chunk needs no checkpoint: fully recoverable.
+        let mut rt = runtime(d, 2, 11);
+        rt.set_checkpointing(false);
+        let mut agg = ShardedAggregator::new(AggregatorKind::NonOblivious, d, 1, rt);
+        agg.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+            kind: FaultKind::ShardKill,
+            chunk: 0,
+            shard: 0,
+        }]));
+        for chunk in updates.chunks(4) {
+            agg.ingest(chunk, &mut NullTracer);
+        }
+        assert!(agg.finalize_with_peaks(&mut NullTracer).is_ok());
     }
 }

@@ -38,8 +38,9 @@ pub mod parallel;
 pub mod regions;
 
 pub use aggregation::{
-    aggregate, aggregate_with_threads, Aggregator, AggregatorKind, StreamingAggregator,
+    aggregate, aggregate_with_threads, Aggregator, AggregatorKind, ShardError, ShardFailure,
+    StreamingAggregator,
 };
 pub use cell::{cell_index, cell_value, make_cell, DUMMY_INDEX};
-pub use olive::{OliveConfig, OliveSystem, RoundReport};
+pub use olive::{OliveConfig, OliveSystem, RoundError, RoundReport};
 pub use parallel::default_threads;

@@ -27,7 +27,10 @@ use std::collections::BTreeMap;
 use olive_data::ClientData;
 use olive_dp::{GaussianMechanism, RdpAccountant};
 use olive_fl::{local_update, sample_clients, ClientConfig, FedAvgServer, SparseGradient};
-use olive_memsim::{ParallelTracer, ShardPlan, StateError, StateReader, StateWriter, WorkingSet};
+use olive_memsim::{
+    FaultPlan, ParallelTracer, RecoveryStats, ShardPlan, StateError, StateReader, StateWriter,
+    WorkingSet,
+};
 use olive_nn::Model;
 use olive_tee::{
     AttestationService, ClientSession, Enclave, EnclaveConfig, SealedMessage, TeeError, UserId,
@@ -35,7 +38,9 @@ use olive_tee::{
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::aggregation::{Aggregator, AggregatorKind, ShardRuntime, StreamingAggregator};
+use crate::aggregation::{
+    Aggregator, AggregatorKind, ShardError, ShardRuntime, StreamingAggregator,
+};
 use crate::parallel::default_threads;
 
 /// Sealing label for mid-round checkpoints. One label, one monotonic
@@ -48,6 +53,45 @@ const CKPT_VERSION: u8 = 1;
 
 /// Attestation user data binding the enclave quote to the FL protocol.
 const ATTEST_CONTEXT: &[u8] = b"olive-fl-v1";
+
+/// Why a round could not run (or resume) to completion. Every variant is
+/// recoverable state, not a panic: the interrupted round stays pending
+/// ([`OliveSystem::interrupted`]) and [`OliveSystem::restore_round`] can
+/// finish it once the cause is repaired — bitwise identical to an
+/// uninterrupted round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundError {
+    /// The sealed round checkpoint failed to restore: tampered blob
+    /// ([`TeeError::AuthFailure`]) or a rollback below the pinned counter
+    /// floor ([`TeeError::StaleSeal`]).
+    Checkpoint(TeeError),
+    /// The shard transport plane failed after its retry/failover budget
+    /// was exhausted (which shard, how many attempts, terminal failure).
+    Shard(ShardError),
+}
+
+impl core::fmt::Display for RoundError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RoundError::Checkpoint(e) => write!(f, "checkpoint restore failed: {e:?}"),
+            RoundError::Shard(e) => write!(f, "shard plane failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RoundError {}
+
+impl From<TeeError> for RoundError {
+    fn from(e: TeeError) -> Self {
+        RoundError::Checkpoint(e)
+    }
+}
+
+impl From<ShardError> for RoundError {
+    fn from(e: ShardError) -> Self {
+        RoundError::Shard(e)
+    }
+}
 
 /// Central-DP configuration (Algorithm 6).
 #[derive(Clone, Copy, Debug)]
@@ -133,6 +177,17 @@ pub struct OliveSystem {
     /// coordinator crash, but the restore path re-provisions them anyway
     /// (fresh tunnels to the relaunched coordinator).
     shard_rt: Option<ShardRuntime>,
+    /// Provisioning generation of the shard plane. Mixed into the shard
+    /// platform seeds so a re-provisioned plane (after a coordinator
+    /// restore) derives *fresh* sealing keys: the previous incarnation's
+    /// discarded `"shard-ckpt"` blobs and the new plane's could otherwise
+    /// share a (key, label, nonce-counter) triple with different
+    /// plaintexts — an AES-GCM nonce reuse.
+    shard_provision_epoch: u32,
+    /// A fault script awaiting the next provisioned shard runtime
+    /// ([`OliveSystem::set_fault_plan`] may be called before the plane
+    /// exists; armed — `take()`n — once it does).
+    pending_faults: Option<FaultPlan>,
     /// Seal a restorable checkpoint after every folded chunk (default on;
     /// [`OliveSystem::set_checkpointing`] is the escape hatch).
     checkpoint: bool,
@@ -162,6 +217,16 @@ struct PendingRound {
     /// Replay floors as of round start (before any upload was opened):
     /// the base the per-chunk floor snapshots are computed from.
     base_floors: Vec<(UserId, u64)>,
+    /// Chunk geometry the round started with, so a round that dies
+    /// *before its first checkpoint* (e.g. a chunk-0 shard fault) can be
+    /// restarted from the untrusted material with the same schedule.
+    chunk_size: usize,
+    threads: usize,
+    /// DP/sampling generator state right after the sample was drawn —
+    /// the no-checkpoint restart's RNG restore point (training seeds are
+    /// derived per-user, not drawn from this stream, so post-prepare the
+    /// next draw is the finalize-time noise).
+    rng_after_prepare: [u64; 4],
 }
 
 /// Enclave-side ingestion state threaded through [`OliveSystem`]'s
@@ -294,6 +359,8 @@ impl OliveSystem {
             chunk: None,
             shards: None,
             shard_rt: None,
+            shard_provision_epoch: 0,
+            pending_faults: None,
             checkpoint: true,
             pending: None,
             ckpt_store: None,
@@ -355,24 +422,55 @@ impl OliveSystem {
     /// The coordinator re-attests under [`ATTEST_CONTEXT`] — the same
     /// user data as client provisioning, so its transcript (which every
     /// client session key is bound to) is unchanged.
-    fn ensure_shard_runtime(&mut self) {
+    ///
+    /// Each provisioning generation mixes a fresh epoch into the shard
+    /// platform seeds: a re-provisioned plane must not reuse its
+    /// predecessor's sealing keys, or the discarded incarnation's
+    /// checkpoint blobs and the new one's could collide on a sealing
+    /// nonce (same key, same label, restarted counter).
+    fn ensure_shard_runtime(&mut self) -> Result<(), RoundError> {
         let s = self.shards().min(self.server.dim());
         if s <= 1 {
             self.shard_rt = None;
-            return;
+            return Ok(());
         }
         if self.shard_rt.as_ref().is_some_and(|rt| rt.shards() == s) {
-            return;
+            return Ok(());
+        }
+        self.shard_provision_epoch += 1;
+        let mut seed = self.seed_bytes;
+        for (b, e) in seed[8..12].iter_mut().zip(self.shard_provision_epoch.to_be_bytes()) {
+            *b ^= e;
         }
         self.shard_rt = Some(ShardRuntime::provision(
             &self.service,
             &mut self.enclave,
             ATTEST_CONTEXT,
-            self.seed_bytes,
+            seed,
             self.enclave_cfg.epc_bytes,
             self.server.dim(),
             s,
-        ));
+        )?);
+        Ok(())
+    }
+
+    /// Arms a deterministic fault script for the next sharded round(s)
+    /// (on the monolithic path there is no transport plane to fault and
+    /// the plan is simply never consumed). Composes with `OLIVE_FAULTS`:
+    /// an explicit plan wins; the environment plan re-arms whenever no
+    /// script is active ([`ShardRuntime::begin_round`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if let Some(rt) = self.shard_rt.as_mut() {
+            rt.set_fault_plan(plan);
+        } else {
+            self.pending_faults = Some(plan);
+        }
+    }
+
+    /// Recovery work (retries, relaunches, simulated backoff) the current
+    /// shard plane has performed; `None` on the monolithic path.
+    pub fn shard_recovery_stats(&self) -> Option<RecoveryStats> {
+        self.shard_rt.as_ref().map(|rt| rt.recovery_stats())
     }
 
     /// The current global parameters θ_t.
@@ -411,8 +509,19 @@ impl OliveSystem {
     /// resumes via [`OliveSystem::restore_round`] instead of restarting —
     /// bitwise identical in output and trace to an uninterrupted run.
     /// [`OliveSystem::set_checkpointing`] turns the sealing off.
-    pub fn run_round<TR: ParallelTracer>(&mut self, tr: &mut TR) -> RoundReport {
-        self.run_round_inner(None, tr).expect("round completes when no kill point is injected")
+    ///
+    /// Sharded rounds (S > 1) are additionally **fault-tolerant**: shard
+    /// deaths and tunnel corruption recover in-band (bounded retries,
+    /// mid-round shard relaunch + re-attestation + checkpoint restore)
+    /// without perturbing output, signature or trace. Only *exhausted*
+    /// recovery surfaces, as [`RoundError::Shard`] — the round stays
+    /// pending and [`OliveSystem::restore_round`] finishes it.
+    pub fn run_round<TR: ParallelTracer>(
+        &mut self,
+        tr: &mut TR,
+    ) -> Result<RoundReport, RoundError> {
+        self.run_round_inner(None, tr)
+            .map(|r| r.expect("round completes when no kill point is injected"))
     }
 
     /// [`OliveSystem::run_round`] with a simulated crash injected after
@@ -426,7 +535,7 @@ impl OliveSystem {
         &mut self,
         kill_after: usize,
         tr: &mut TR,
-    ) -> Option<RoundReport> {
+    ) -> Result<Option<RoundReport>, RoundError> {
         assert!(self.checkpoint, "kill testing requires checkpointing to be enabled");
         self.run_round_inner(Some(kill_after), tr)
     }
@@ -435,22 +544,27 @@ impl OliveSystem {
         &mut self,
         kill_after: Option<usize>,
         tr: &mut TR,
-    ) -> Option<RoundReport> {
+    ) -> Result<Option<RoundReport>, RoundError> {
         assert!(
             self.pending.is_none(),
             "an interrupted round must be restored (restore_round) before starting a new one"
         );
-        self.ensure_shard_runtime();
+        self.ensure_shard_runtime()?;
+        if let Some(rt) = self.shard_rt.as_mut() {
+            if let Some(plan) = self.pending_faults.take() {
+                rt.set_fault_plan(plan);
+            }
+        }
         let pending = self.prepare_round();
         if pending.sampled.is_empty() {
-            return Some(self.finish_empty_round(pending.t));
+            return Ok(Some(self.finish_empty_round(pending.t)));
         }
         let st = IngestState {
-            agg: StreamingAggregator::new(self.cfg.aggregator, self.server.dim(), self.threads()),
+            agg: StreamingAggregator::new(self.cfg.aggregator, self.server.dim(), pending.threads),
             ws: WorkingSet::default(),
             next_chunk: 0,
-            chunk_size: self.chunk(),
-            threads: self.threads(),
+            chunk_size: pending.chunk_size,
+            threads: pending.threads,
         };
         self.resume_ingestion(pending, st, kill_after, tr)
     }
@@ -485,7 +599,16 @@ impl OliveSystem {
             .map(|(&user, sparse)| self.sessions[user as usize].seal_upload(t, &sparse.encode()))
             .collect();
         let k = local_results.first().map(|u| u.k()).unwrap_or(0);
-        PendingRound { t, sampled, sealed, k, base_floors }
+        PendingRound {
+            t,
+            sampled,
+            sealed,
+            k,
+            base_floors,
+            chunk_size: self.chunk(),
+            threads: self.threads(),
+            rng_after_prepare: self.rng.state(),
+        }
     }
 
     /// An honest Poisson sample is empty with probability `(1−q)^N`.
@@ -515,15 +638,17 @@ impl OliveSystem {
     /// verify/decrypt/fold under the adversary's tracer with per-chunk
     /// EPC accounting, then finalize, noise, apply, sign. Entered at
     /// chunk 0 by a fresh round and at `st.next_chunk` by
-    /// [`OliveSystem::restore_round`]; returns `None` only when
-    /// `kill_after` injects a crash.
+    /// [`OliveSystem::restore_round`]; returns `Ok(None)` only when
+    /// `kill_after` injects a crash, and `Err` when the shard plane
+    /// exhausts its recovery budget — in both cases the round stays
+    /// pending and restorable.
     fn resume_ingestion<TR: ParallelTracer>(
         &mut self,
         pending: PendingRound,
         mut st: IngestState,
         kill_after: Option<usize>,
         tr: &mut TR,
-    ) -> Option<RoundReport> {
+    ) -> Result<Option<RoundReport>, RoundError> {
         let t = pending.t;
         let k = pending.k;
         let threads = st.threads;
@@ -563,14 +688,31 @@ impl OliveSystem {
             let next_bytes = next_msgs.map(staged_chunk_bytes).unwrap_or(0);
             st.ws.alloc(next_bytes);
             self.enclave.epc.alloc(next_bytes);
-            if let Some(rt) = rt.as_mut() {
-                rt.alloc_split(scratch);
-                rt.alloc_split(next_bytes);
+            if let Some(rt2) = rt.as_mut() {
+                rt2.alloc_split(scratch);
+                rt2.alloc_split(next_bytes);
                 // Broadcast the chunk's cell segment to every shard
                 // before it folds (fixed shape: a pure function of the
                 // public chunk schedule, so the transport leaks nothing
-                // the schedule doesn't already reveal).
-                rt.ingress_chunk(&staged);
+                // the schedule doesn't already reveal). Recovery from
+                // shard faults happens inside this call; only exhausted
+                // recovery aborts the round — with every outstanding
+                // charge unwound and chunk i unfolded, so the sealed
+                // checkpoint of chunk i−1 (or the untrusted round
+                // material, if i = 0) restores it exactly.
+                if let Err(e) = rt2.ingress_chunk(&staged) {
+                    self.enclave.epc.free(scratch);
+                    self.enclave.epc.free(next_bytes);
+                    self.enclave.epc.free(staged_bytes);
+                    self.enclave.epc.free(resident);
+                    rt2.free_split(scratch);
+                    rt2.free_split(next_bytes);
+                    rt2.free_split(staged_bytes);
+                    rt2.free_split(resident);
+                    self.shard_rt = rt;
+                    self.pending = Some(pending);
+                    return Err(RoundError::Shard(e));
+                }
             }
             let next = if let Some(msgs) = next_msgs {
                 if threads >= 2 {
@@ -640,7 +782,7 @@ impl OliveSystem {
                 // their tunnels against the relaunched coordinator.
                 self.shard_rt = rt;
                 self.pending = Some(pending);
-                return None;
+                return Ok(None);
             }
         }
 
@@ -651,11 +793,25 @@ impl OliveSystem {
             rt.alloc_split(fin_scratch);
         }
         let mut delta = st.agg.finalize(tr);
-        if let Some(rt) = rt.as_mut() {
+        if let Some(rt2) = rt.as_mut() {
             // Stripe the finalized delta out to the shards and fold the
             // shard-held stripes back in ascending shard order — the
-            // deterministic merge, bitwise the canonical delta.
-            delta = rt.egress_round(&delta);
+            // deterministic merge, bitwise the canonical delta. An
+            // exhausted egress recovery aborts with charges unwound; the
+            // final checkpoint (all chunks folded) restores the round at
+            // the finalize step.
+            match rt2.egress_round(&delta) {
+                Ok(merged) => delta = merged,
+                Err(e) => {
+                    self.enclave.epc.free(fin_scratch);
+                    self.enclave.epc.free(resident);
+                    rt2.free_split(fin_scratch);
+                    rt2.free_split(resident);
+                    self.shard_rt = rt;
+                    self.pending = Some(pending);
+                    return Err(RoundError::Shard(e));
+                }
+            }
         }
         st.ws.free(fin_scratch);
         self.enclave.epc.free(fin_scratch);
@@ -699,7 +855,7 @@ impl OliveSystem {
             None => st.ws.peak > self.enclave.epc.limit,
         };
         self.shard_rt = rt;
-        Some(RoundReport {
+        Ok(Some(RoundReport {
             round: t,
             processed_users: pending.sampled,
             k_per_user: k,
@@ -708,7 +864,7 @@ impl OliveSystem {
             would_page,
             shard_peaks,
             model_signature,
-        })
+        }))
     }
 
     /// Serializes and seals the round's restore point under
@@ -803,19 +959,24 @@ impl OliveSystem {
     /// The restore path re-does provisioning from scratch — exactly what
     /// a crashed deployment does: relaunch the enclave (same platform
     /// seed ⇒ same sealing key and DH keypair, so existing client
-    /// sessions stay valid), re-attest, re-register the session keys.
+    /// sessions stay valid), re-attest, re-register the session keys,
+    /// and re-provision the shard plane (fresh tunnels, fresh shard
+    /// sealing keys via the provisioning epoch).
     /// Then the checkpoint is unsealed against the rollback-protected
     /// floor ([`TeeError::StaleSeal`] for an older genuine blob,
     /// [`TeeError::AuthFailure`] for a tampered one), replay floors are
     /// rewound to cover only *folded* uploads, the aggregator is rebuilt
     /// from its serialized state, and ingestion continues from the next
-    /// chunk. Output and trace are bitwise identical to the uninterrupted
-    /// round. On error the interrupted round stays pending, so the caller
-    /// can repair storage and retry.
+    /// chunk. A round that died *before its first checkpoint* (a chunk-0
+    /// shard fault, or egress failure with checkpointing off) has no blob
+    /// and is restarted whole from the untrusted round material — nothing
+    /// was folded, so that too is exact. Output and trace are bitwise
+    /// identical to the uninterrupted round. On error the interrupted
+    /// round stays pending, so the caller can repair storage and retry.
     pub fn restore_round<TR: ParallelTracer>(
         &mut self,
         tr: &mut TR,
-    ) -> Result<RoundReport, TeeError> {
+    ) -> Result<RoundReport, RoundError> {
         self.restore_round_inner(None, tr)
             .map(|r| r.expect("restore completes when no kill point is injected"))
     }
@@ -827,7 +988,7 @@ impl OliveSystem {
         &mut self,
         kill_after: usize,
         tr: &mut TR,
-    ) -> Result<Option<RoundReport>, TeeError> {
+    ) -> Result<Option<RoundReport>, RoundError> {
         self.restore_round_inner(Some(kill_after), tr)
     }
 
@@ -835,10 +996,9 @@ impl OliveSystem {
         &mut self,
         kill_after: Option<usize>,
         tr: &mut TR,
-    ) -> Result<Option<RoundReport>, TeeError> {
+    ) -> Result<Option<RoundReport>, RoundError> {
         assert!(self.pending.is_some(), "restore_round requires an interrupted round");
-        let blob =
-            self.ckpt_store.clone().expect("an interrupted round always has a checkpoint blob");
+        let blob = self.ckpt_store.clone();
 
         // Cold relaunch + re-provisioning.
         self.enclave = Enclave::launch(&self.enclave_cfg, self.seed_bytes);
@@ -853,41 +1013,85 @@ impl OliveSystem {
         // survived the crash, but their attested channels died with the
         // coordinator's ephemeral state).
         self.shard_rt = None;
-        self.ensure_shard_runtime();
+        self.ensure_shard_runtime()?;
 
-        // Unseal against the pinned floor: stale (rolled-back) blobs and
-        // tampered blobs both fail here, leaving the round pending.
-        let plain = self.enclave.unseal_with_floor(&blob, CKPT_LABEL, self.ckpt_floor)?;
-        let ckpt = decode_checkpoint(&plain, self.pending.as_ref().expect("checked above"))
-            // An authenticated blob that decodes to the wrong shape means
-            // it was sealed for a different round than the pending one —
-            // treat it like any other unusable blob.
-            .map_err(|_| TeeError::AuthFailure)?;
-
-        let mut agg =
-            StreamingAggregator::new(self.cfg.aggregator, self.server.dim(), ckpt.threads);
-        agg.load_state(&ckpt.agg_state).map_err(|_| TeeError::AuthFailure)?;
+        let restored = match &blob {
+            Some(blob) => {
+                // Unseal against the pinned floor: stale (rolled-back)
+                // blobs and tampered blobs both fail here, leaving the
+                // round pending.
+                let plain = self.enclave.unseal_with_floor(blob, CKPT_LABEL, self.ckpt_floor)?;
+                let ckpt = decode_checkpoint(&plain, self.pending.as_ref().expect("checked above"))
+                    // An authenticated blob that decodes to the wrong
+                    // shape means it was sealed for a different round
+                    // than the pending one — treat it like any other
+                    // unusable blob.
+                    .map_err(|_| RoundError::Checkpoint(TeeError::AuthFailure))?;
+                let mut agg =
+                    StreamingAggregator::new(self.cfg.aggregator, self.server.dim(), ckpt.threads);
+                agg.load_state(&ckpt.agg_state)
+                    .map_err(|_| RoundError::Checkpoint(TeeError::AuthFailure))?;
+                Some((agg, ckpt))
+            }
+            // No checkpoint was ever sealed for this round: nothing was
+            // folded before the abort, so the exact pre-crash state is a
+            // fresh aggregator over the untrusted round material.
+            None => None,
+        };
 
         let mut pending = self.pending.take().expect("checked above");
-        self.rng = SmallRng::from_state(ckpt.rng_state);
-        self.enclave.begin_round(pending.t, pending.sampled.clone());
-        if let Some(rt) = self.shard_rt.as_mut() {
-            rt.begin_round();
-        }
-        self.enclave.restore_replay_floors(&ckpt.floors);
-        // Future checkpoints of this round rebuild their snapshots from
-        // the restored floors: unfolded users still carry their base
-        // entries there, folded users' overrides are permanent.
-        pending.base_floors = ckpt.floors;
-
-        let st = IngestState {
-            agg,
-            ws: WorkingSet::default(),
-            next_chunk: ckpt.chunks_done,
-            chunk_size: ckpt.chunk_size,
-            threads: ckpt.threads,
+        let st = match restored {
+            Some((agg, ckpt)) => {
+                self.rng = SmallRng::from_state(ckpt.rng_state);
+                self.enclave.begin_round(pending.t, pending.sampled.clone());
+                if let Some(rt) = self.shard_rt.as_mut() {
+                    if let Some(plan) = self.pending_faults.take() {
+                        rt.set_fault_plan(plan);
+                    }
+                    rt.begin_round();
+                    // Keep scripted fault coordinates absolute: the
+                    // resumed half of the round continues the original
+                    // chunk numbering.
+                    rt.skip_to_chunk(ckpt.chunks_done);
+                }
+                self.enclave.restore_replay_floors(&ckpt.floors);
+                // Future checkpoints of this round rebuild their
+                // snapshots from the restored floors: unfolded users
+                // still carry their base entries there, folded users'
+                // overrides are permanent.
+                pending.base_floors = ckpt.floors;
+                IngestState {
+                    agg,
+                    ws: WorkingSet::default(),
+                    next_chunk: ckpt.chunks_done,
+                    chunk_size: ckpt.chunk_size,
+                    threads: ckpt.threads,
+                }
+            }
+            None => {
+                self.rng = SmallRng::from_state(pending.rng_after_prepare);
+                self.enclave.begin_round(pending.t, pending.sampled.clone());
+                if let Some(rt) = self.shard_rt.as_mut() {
+                    if let Some(plan) = self.pending_faults.take() {
+                        rt.set_fault_plan(plan);
+                    }
+                    rt.begin_round();
+                }
+                self.enclave.restore_replay_floors(&pending.base_floors);
+                IngestState {
+                    agg: StreamingAggregator::new(
+                        self.cfg.aggregator,
+                        self.server.dim(),
+                        pending.threads,
+                    ),
+                    ws: WorkingSet::default(),
+                    next_chunk: 0,
+                    chunk_size: pending.chunk_size,
+                    threads: pending.threads,
+                }
+            }
         };
-        Ok(self.resume_ingestion(pending, st, kill_after, tr))
+        self.resume_ingestion(pending, st, kill_after, tr)
     }
 
     /// Signs `t ∥ θ` with the enclave's output key (Section 5.6).
@@ -1137,7 +1341,7 @@ mod tests {
     fn round_runs_and_updates_model() {
         let mut sys = tiny_system(AggregatorKind::Advanced, None);
         let before = sys.global_params();
-        let report = sys.run_round(&mut NullTracer);
+        let report = sys.run_round(&mut NullTracer).expect("round");
         assert!(!report.processed_users.is_empty());
         assert!(report.epsilon_spent.is_none());
         let after = sys.global_params();
@@ -1152,7 +1356,7 @@ mod tests {
         // same global trajectory as the non-oblivious reference.
         let reference = {
             let mut sys = tiny_system(AggregatorKind::NonOblivious, None);
-            sys.run_round(&mut NullTracer);
+            sys.run_round(&mut NullTracer).expect("round");
             sys.global_params()
         };
         for kind in [
@@ -1161,7 +1365,7 @@ mod tests {
             AggregatorKind::Grouped { h: 2 },
         ] {
             let mut sys = tiny_system(kind, None);
-            sys.run_round(&mut NullTracer);
+            sys.run_round(&mut NullTracer).expect("round");
             let params = sys.global_params();
             for (a, b) in reference.iter().zip(params.iter()) {
                 assert!((a - b).abs() < 1e-4, "{kind:?} diverged");
@@ -1194,7 +1398,7 @@ mod tests {
             let mut sys = tiny_system(AggregatorKind::Grouped { h: 2 }, None);
             sys.set_threads(threads);
             assert_eq!(sys.threads(), threads);
-            sys.run_round(&mut NullTracer);
+            sys.run_round(&mut NullTracer).expect("round");
             sys.global_params()
         };
         let serial = run(1);
@@ -1216,7 +1420,7 @@ mod tests {
             sys.set_shards(shards);
             assert_eq!(sys.shards(), shards);
             let mut tr = RecordingTracer::new(Granularity::Element);
-            let report = sys.run_round(&mut tr);
+            let report = sys.run_round(&mut tr).expect("round");
             (sys.global_params(), tr.digest(), report)
         };
         let (ref_params, ref_digest, ref_report) = run(1);
@@ -1267,7 +1471,7 @@ mod tests {
             sys.set_chunk(chunk);
             assert_eq!(sys.chunk(), chunk);
             let mut tr = RecordingTracer::new(Granularity::Element);
-            sys.run_round(&mut tr);
+            sys.run_round(&mut tr).expect("round");
             (sys.global_params(), tr.digest())
         };
         for threads in [1usize, 2] {
@@ -1291,7 +1495,7 @@ mod tests {
             let mut sys = tiny_system(AggregatorKind::NonOblivious, None);
             sys.set_threads(1);
             sys.set_chunk(chunk);
-            let r1 = sys.run_round(&mut NullTracer);
+            let r1 = sys.run_round(&mut NullTracer).expect("round");
             assert!(r1.working_set_bytes > 0);
             assert_eq!(sys.enclave.epc.live, 0, "all round allocations must be freed");
             assert_eq!(
@@ -1301,7 +1505,7 @@ mod tests {
             // A second, differently-shaped round: its peak must stand on
             // its own, not under round 1's shadow.
             sys.set_chunk(1);
-            let r2 = sys.run_round(&mut NullTracer);
+            let r2 = sys.run_round(&mut NullTracer).expect("round");
             assert_eq!(sys.enclave.epc.live, 0);
             assert_eq!(
                 sys.enclave.epc.peak, r2.working_set_bytes,
@@ -1342,7 +1546,7 @@ mod tests {
         let mut saw_empty = false;
         for _ in 0..12 {
             let before = sys.global_params();
-            let report = sys.run_round(&mut NullTracer);
+            let report = sys.run_round(&mut NullTracer).expect("round");
             let after = sys.global_params();
             assert!(after.iter().all(|x| x.is_finite()), "NaN/∞ leaked into θ");
             if report.processed_users.is_empty() {
@@ -1388,10 +1592,10 @@ mod tests {
         };
         let mut sys =
             OliveSystem::with_enclave_config(model.clone(), clients.clone(), cfg.clone(), tiny_epc);
-        let report = sys.run_round(&mut NullTracer);
+        let report = sys.run_round(&mut NullTracer).expect("round");
         assert!(report.would_page, "a 64-byte EPC must page");
         let mut roomy = OliveSystem::new(model, clients, cfg);
-        let report = roomy.run_round(&mut NullTracer);
+        let report = roomy.run_round(&mut NullTracer).expect("round");
         assert!(!report.would_page, "a tiny round fits the default 96 MiB EPC");
     }
 
@@ -1399,9 +1603,9 @@ mod tests {
     fn dp_mode_reports_epsilon_and_noises() {
         let dp = DpConfig { sigma: 1.12, clip: 0.5, delta: 1e-5 };
         let mut sys = tiny_system(AggregatorKind::Advanced, Some(dp));
-        let r1 = sys.run_round(&mut NullTracer);
+        let r1 = sys.run_round(&mut NullTracer).expect("round");
         let e1 = r1.epsilon_spent.expect("dp mode reports epsilon");
-        let r2 = sys.run_round(&mut NullTracer);
+        let r2 = sys.run_round(&mut NullTracer).expect("round");
         let e2 = r2.epsilon_spent.unwrap();
         assert!(e2 > e1, "budget accumulates: {e1} -> {e2}");
     }
@@ -1409,8 +1613,8 @@ mod tests {
     #[test]
     fn rounds_progress_and_sampling_varies() {
         let mut sys = tiny_system(AggregatorKind::Advanced, None);
-        let a = sys.run_round(&mut NullTracer);
-        let b = sys.run_round(&mut NullTracer);
+        let a = sys.run_round(&mut NullTracer).expect("round");
+        let b = sys.run_round(&mut NullTracer).expect("round");
         assert_eq!(a.round, 0);
         assert_eq!(b.round, 1);
     }
@@ -1423,7 +1627,7 @@ mod tests {
         let mut sys = tiny_system(AggregatorKind::Advanced, None);
         let (loss0, _) = sys.server.model.evaluate(&test.features, &test.labels, 32);
         for _ in 0..6 {
-            sys.run_round(&mut NullTracer);
+            sys.run_round(&mut NullTracer).expect("round");
         }
         let (loss1, _) = sys.server.model.evaluate(&test.features, &test.labels, 32);
         assert!(loss1 < loss0, "loss {loss0} -> {loss1}");

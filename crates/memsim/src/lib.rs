@@ -33,6 +33,7 @@ pub mod check;
 pub mod codec;
 pub mod digest;
 pub mod epc;
+pub mod faults;
 pub mod shard;
 pub mod threads;
 pub mod tracer;
@@ -43,6 +44,7 @@ pub use check::{assert_not_oblivious, assert_oblivious, trace_of};
 pub use codec::{StateError, StateReader, StateWriter};
 pub use digest::TraceDigest;
 pub use epc::{CostModel, EpcSim, EpcStats, SgxCostEstimate, WorkingSet};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoveryStats, RetryPolicy, EGRESS_CHUNK};
 pub use shard::ShardPlan;
 pub use threads::default_threads;
 pub use tracer::{

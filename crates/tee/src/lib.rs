@@ -37,7 +37,7 @@ pub mod shard;
 pub use attestation::{AttestationError, AttestationService, Quote, Report};
 pub use channel::{ClientSession, SealedMessage};
 pub use enclave::{Enclave, EnclaveConfig, EpcBudget, TeeError};
-pub use shard::{ShardId, ShardTunnel, TunnelError, TunnelMessage, TunnelRole};
+pub use shard::{ShardId, ShardTunnel, TunnelAnchor, TunnelError, TunnelMessage, TunnelRole};
 
 /// User identifier type used across the FL protocol.
 pub type UserId = u32;

@@ -56,7 +56,7 @@ fn main() {
     let test = generator.sample_balanced(40, &mut rng);
     println!("round | clinics | test acc | ε spent (δ=1e-5)");
     for _ in 0..rounds {
-        let report = system.run_round(&mut NullTracer);
+        let report = system.run_round(&mut NullTracer).expect("fault-free round completes");
         let (_, acc) = system.server.model.evaluate(&test.features, &test.labels, 64);
         println!(
             "{:>5} | {:>7} | {:>7.1}% | {:.3}",

@@ -54,7 +54,7 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(99);
     let test = generator.sample_balanced(30, &mut rng);
     for round in 0..8 {
-        let report = system.run_round(&mut NullTracer);
+        let report = system.run_round(&mut NullTracer).expect("fault-free round completes");
         let (loss, acc) = system.server.model.evaluate(&test.features, &test.labels, 64);
         println!(
             "round {round}: {} participants, test loss {loss:.3}, accuracy {:.1}%  (enclave-signed: {})",

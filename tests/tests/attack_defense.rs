@@ -71,8 +71,8 @@ fn defense_does_not_change_the_learned_model() {
     let (mut vulnerable, pool) = small_system(AggregatorKind::NonOblivious, None, 46);
     let (mut defended, _) = small_system(AggregatorKind::Advanced, None, 46);
     for _ in 0..4 {
-        vulnerable.run_round(&mut olive_memsim::NullTracer);
-        defended.run_round(&mut olive_memsim::NullTracer);
+        vulnerable.run_round(&mut olive_memsim::NullTracer).expect("round");
+        defended.run_round(&mut olive_memsim::NullTracer).expect("round");
     }
     let (_, acc_v) = vulnerable.server.model.evaluate(&pool.features, &pool.labels, 64);
     let (_, acc_d) = defended.server.model.evaluate(&pool.features, &pool.labels, 64);

@@ -9,7 +9,7 @@
 //! missing adversary-visible access would break the digest.
 
 use olive_core::aggregation::AggregatorKind;
-use olive_core::olive::{DpConfig, OliveSystem, RoundReport};
+use olive_core::olive::{DpConfig, OliveSystem, RoundError, RoundReport};
 use olive_integration_tests::small_system;
 use olive_memsim::{Granularity, RecordingTracer, TraceDigest};
 use olive_tee::TeeError;
@@ -26,7 +26,7 @@ fn uninterrupted(
     sys.set_threads(threads);
     sys.set_chunk(chunk);
     let mut tr = RecordingTracer::new(Granularity::Element);
-    let report = sys.run_round(&mut tr);
+    let report = sys.run_round(&mut tr).expect("round");
     (sys.global_params(), tr.digest(), report)
 }
 
@@ -79,7 +79,8 @@ fn kill_and_restore_is_bitwise_identical() {
                 let ctx = format!("kind={kind:?} chunk={chunk} kill_after={kp}");
                 let mut sys = fresh(kind, None, seed, chunk, threads);
                 let mut tr = RecordingTracer::new(Granularity::Element);
-                let killed = sys.run_round_kill_after(kp, &mut tr);
+                let killed =
+                    sys.run_round_kill_after(kp, &mut tr).expect("kill injection is not a fault");
                 assert!(killed.is_none(), "{ctx}: kill point must interrupt the round");
                 assert!(sys.interrupted(), "{ctx}: round must be pending");
                 let report = sys.restore_round(&mut tr).expect("restore must succeed");
@@ -105,7 +106,7 @@ fn kill_and_restore_preserves_dp_noise_bits() {
     let (ref_params, ref_digest, ref_report) = uninterrupted(kind, dp, 13, 2, 1);
     let mut sys = fresh(kind, dp, 13, 2, 1);
     let mut tr = RecordingTracer::new(Granularity::Element);
-    assert!(sys.run_round_kill_after(0, &mut tr).is_none());
+    assert!(sys.run_round_kill_after(0, &mut tr).expect("no shard faults").is_none());
     let report = sys.restore_round(&mut tr).expect("restore must succeed");
     assert_bitwise_eq(&sys.global_params(), &ref_params, "dp restore");
     assert_eq!(tr.digest(), ref_digest);
@@ -120,14 +121,17 @@ fn tampered_checkpoint_is_rejected_and_recoverable() {
     let (ref_params, ref_digest, _) = uninterrupted(kind, None, 5, 3, 1);
     let mut sys = fresh(kind, None, 5, 3, 1);
     let mut tr = RecordingTracer::new(Granularity::Element);
-    assert!(sys.run_round_kill_after(1, &mut tr).is_none());
+    assert!(sys.run_round_kill_after(1, &mut tr).expect("no shard faults").is_none());
     let good = sys.checkpoint_blob().expect("a killed round leaves a blob").to_vec();
 
     let mut evil = good.clone();
     let mid = evil.len() / 2;
     evil[mid] ^= 0x40;
     sys.set_checkpoint_blob(evil);
-    assert_eq!(sys.restore_round(&mut tr).unwrap_err(), TeeError::AuthFailure);
+    assert_eq!(
+        sys.restore_round(&mut tr).unwrap_err(),
+        RoundError::Checkpoint(TeeError::AuthFailure)
+    );
     assert!(sys.interrupted(), "a failed restore leaves the round pending");
 
     sys.set_checkpoint_blob(good);
@@ -150,7 +154,7 @@ fn rolled_back_checkpoint_is_rejected() {
 
     // Kill after chunk 0 → blob A; restore and kill again after chunk 1
     // → blob B with a strictly larger counter.
-    assert!(sys.run_round_kill_after(0, &mut tr).is_none());
+    assert!(sys.run_round_kill_after(0, &mut tr).expect("no shard faults").is_none());
     let blob_a = sys.checkpoint_blob().unwrap().to_vec();
     assert!(sys.restore_round_kill_after(1, &mut tr).expect("restore succeeds").is_none());
     let blob_b = sys.checkpoint_blob().unwrap().to_vec();
@@ -163,7 +167,10 @@ fn rolled_back_checkpoint_is_rejected() {
 
     // Rollback: untrusted storage presents the older (authentic!) blob.
     sys.set_checkpoint_blob(blob_a);
-    assert_eq!(sys.restore_round(&mut tr).unwrap_err(), TeeError::StaleSeal);
+    assert_eq!(
+        sys.restore_round(&mut tr).unwrap_err(),
+        RoundError::Checkpoint(TeeError::StaleSeal)
+    );
     assert!(sys.interrupted(), "the rolled-back round stays pending");
 
     // The newest blob still restores, and the next round's checkpoints
@@ -171,7 +178,7 @@ fn rolled_back_checkpoint_is_rejected() {
     sys.set_checkpoint_blob(blob_b.clone());
     let report = sys.restore_round(&mut tr).expect("newest blob restores");
     assert_eq!(report.round, 0);
-    assert!(sys.run_round_kill_after(0, &mut tr).is_none());
+    assert!(sys.run_round_kill_after(0, &mut tr).expect("no shard faults").is_none());
     let blob_c = sys.checkpoint_blob().unwrap().to_vec();
     assert!(counter_of(&blob_c) > counter_of(&blob_b), "counters climb across rounds");
     let report = sys.restore_round(&mut tr).expect("round 1 restores too");
@@ -189,7 +196,7 @@ fn checkpointing_does_not_change_the_round() {
     sys.set_chunk(4);
     sys.set_checkpointing(false);
     let mut tr = RecordingTracer::new(Granularity::Element);
-    sys.run_round(&mut tr);
+    sys.run_round(&mut tr).expect("round");
     assert_bitwise_eq(&sys.global_params(), &ref_params, "checkpointing off");
     assert_eq!(tr.digest(), ref_digest);
     assert!(sys.checkpoint_blob().is_none(), "no blob is written when disabled");

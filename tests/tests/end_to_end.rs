@@ -23,7 +23,7 @@ fn every_aggregator_trains_the_same_model() {
     ] {
         let (mut sys, _) = small_system(kind, None, 7);
         for _ in 0..2 {
-            sys.run_round(&mut NullTracer);
+            sys.run_round(&mut NullTracer).expect("round");
         }
         let params = sys.global_params();
         match &reference {
@@ -45,7 +45,7 @@ fn federated_training_converges_under_oblivious_aggregation() {
     let (mut sys, pool) = small_system(AggregatorKind::Advanced, None, 21);
     let (loss0, acc0) = sys.server.model.evaluate(&pool.features, &pool.labels, 64);
     for _ in 0..10 {
-        sys.run_round(&mut NullTracer);
+        sys.run_round(&mut NullTracer).expect("round");
     }
     let (loss1, acc1) = sys.server.model.evaluate(&pool.features, &pool.labels, 64);
     assert!(loss1 < loss0 * 0.8, "loss {loss0} -> {loss1}");
@@ -57,7 +57,7 @@ fn federated_training_converges_under_oblivious_aggregation() {
 fn model_signatures_verify_per_round() {
     let (mut sys, _) = small_system(AggregatorKind::Grouped { h: 4 }, None, 3);
     for _ in 0..3 {
-        let report = sys.run_round(&mut NullTracer);
+        let report = sys.run_round(&mut NullTracer).expect("round");
         let params = sys.global_params();
         assert!(sys.verify_model_signature(report.round, &params, &report.model_signature));
         // Wrong round → signature must fail (no cross-round replay).
@@ -71,7 +71,7 @@ fn dp_mode_accumulates_budget_monotonically() {
     let (mut sys, _) = small_system(AggregatorKind::Advanced, Some(dp), 5);
     let mut last = 0.0f64;
     for _ in 0..4 {
-        let report = sys.run_round(&mut NullTracer);
+        let report = sys.run_round(&mut NullTracer).expect("round");
         let eps = report.epsilon_spent.expect("dp mode reports epsilon");
         assert!(eps > last, "epsilon must grow: {last} -> {eps}");
         last = eps;
@@ -84,8 +84,8 @@ fn dp_noise_actually_perturbs_the_trajectory() {
     let (mut clean, _) = small_system(AggregatorKind::Advanced, None, 11);
     let dp = DpConfig { sigma: 1.0, clip: 0.5, delta: 1e-5 };
     let (mut noised, _) = small_system(AggregatorKind::Advanced, Some(dp), 11);
-    clean.run_round(&mut NullTracer);
-    noised.run_round(&mut NullTracer);
+    clean.run_round(&mut NullTracer).expect("round");
+    noised.run_round(&mut NullTracer).expect("round");
     let a = clean.global_params();
     let b = noised.global_params();
     let diff: f32 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();

@@ -177,13 +177,13 @@ proptest! {
                 [9u8; 32],
                 96 << 20,
                 plan.clone(),
-            );
+            ).expect("provisioning succeeds in the simulation");
             let mut tr = RecordingTracer::new(Granularity::Element);
             let mut agg = ShardedAggregator::new(kind, d, 1, rt);
             for c in updates.chunks(chunk) {
                 agg.ingest(c, &mut tr);
             }
-            let (got, _peaks, rt) = agg.finalize_with_peaks(&mut tr);
+            let (got, _peaks, rt) = agg.finalize_with_peaks(&mut tr).expect("fault-free round");
             prop_assert!(rt.live().iter().all(|&b| b == 0),
                 "{:?} bounds={:?}: shard budgets must balance", kind, interior);
             let one_bits: Vec<u32> = one.iter().map(|v| v.to_bits()).collect();
@@ -192,6 +192,141 @@ proptest! {
                 "{:?} bounds={:?} chunk={}: output drifted", kind, interior, chunk);
             prop_assert_eq!(tr.digest(), one_tr.digest(),
                 "{:?} bounds={:?} chunk={}: trace drifted", kind, interior, chunk);
+        }
+    }
+
+    /// The fault-recovery contract as a property: for an *arbitrary* fault
+    /// script (any kinds, any chunk/egress sites, any shard targets) over
+    /// an arbitrary input at S ∈ {1, 2, 4}, the sharded round either
+    /// recovers — bitwise the monolithic output and trace digest, budgets
+    /// balanced — or fails with a *structured* [`ShardError`] carrying the
+    /// exhausted attempt budget. Never a panic, never a silently wrong
+    /// answer.
+    #[test]
+    fn faults_never_change_the_result(
+        updates in updates_strategy(6, 32),
+        raw_events in vec((0usize..5, 0u32..7, 0u32..4), 0..6),
+        shards_sel in 0usize..3,
+        chunk in 1usize..7,
+    ) {
+        use olive_core::aggregation::{ShardFailure, ShardRuntime, ShardedAggregator};
+        use olive_memsim::{FaultEvent, FaultKind, FaultPlan, RetryPolicy, EGRESS_CHUNK};
+        use olive_tee::{AttestationService, Enclave, EnclaveConfig};
+        let d = 32;
+        let shards = [1usize, 2, 4][shards_sel];
+        const KINDS: [FaultKind; 5] = [
+            FaultKind::ShardKill,
+            FaultKind::TunnelTamper,
+            FaultKind::TunnelDrop,
+            FaultKind::ReceiptCorrupt,
+            FaultKind::StaleSeal,
+        ];
+        let events: Vec<FaultEvent> = raw_events
+            .iter()
+            .map(|&(k, c, s)| FaultEvent {
+                kind: KINDS[k],
+                chunk: if c == 6 { EGRESS_CHUNK } else { c },
+                shard: s % shards as u32,
+            })
+            .collect();
+        for kind in [AggregatorKind::Advanced, AggregatorKind::Grouped { h: 2 }] {
+            let mut one_tr = RecordingTracer::new(Granularity::Element);
+            let one = aggregate_with_threads(kind, &updates, d, 1, &mut one_tr);
+            let service = AttestationService::new([7u8; 32]);
+            let mut coordinator = Enclave::launch(&EnclaveConfig::default(), [8u8; 32]);
+            coordinator.attest(&service, b"fault-proptest");
+            let mut rt = ShardRuntime::provision(
+                &service,
+                &mut coordinator,
+                b"fault-proptest",
+                [9u8; 32],
+                96 << 20,
+                d,
+                shards,
+            ).expect("provisioning succeeds in the simulation");
+            rt.set_fault_plan(FaultPlan::from_events(events.clone()));
+            let mut tr = RecordingTracer::new(Granularity::Element);
+            let mut agg = ShardedAggregator::new(kind, d, 1, rt);
+            for c in updates.chunks(chunk) {
+                agg.ingest(c, &mut tr);
+            }
+            match agg.finalize_with_peaks(&mut tr) {
+                Ok((got, _peaks, rt)) => {
+                    prop_assert!(rt.live().iter().all(|&b| b == 0),
+                        "{:?} events={:?}: shard budgets must balance", kind, events);
+                    let one_bits: Vec<u32> = one.iter().map(|v| v.to_bits()).collect();
+                    let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                    prop_assert_eq!(got_bits, one_bits,
+                        "{:?} S={} events={:?}: output drifted", kind, shards, events);
+                    prop_assert_eq!(tr.digest(), one_tr.digest(),
+                        "{:?} S={} events={:?}: trace drifted", kind, shards, events);
+                }
+                Err(e) => {
+                    // Recovery only gives up when a site stacks enough
+                    // delivery failures to exhaust the whole retry budget
+                    // (checkpointing is on, so kills are always absorbed).
+                    prop_assert_eq!(e.attempts, RetryPolicy::MAX_ATTEMPTS,
+                        "{:?} events={:?}: gave up early: {}", kind, events, e);
+                    prop_assert!((e.shard as usize) < shards);
+                    prop_assert!(matches!(
+                        e.failure,
+                        ShardFailure::Tunnel(_)
+                            | ShardFailure::Dropped
+                            | ShardFailure::ReceiptMismatch
+                    ), "{:?} events={:?}: unstructured terminal failure {}", kind, events, e);
+                }
+            }
+        }
+    }
+
+    /// Recovery exhaustion as a property: stacking exactly the retry
+    /// budget of delivery failures at *any* single site fails cleanly and
+    /// structurally — correct shard, exhausted attempts, matching failure
+    /// kind — for any input geometry.
+    #[test]
+    fn stacked_faults_exhaust_into_structured_errors(
+        updates in updates_strategy(6, 32),
+        site_chunk in 0u32..3,
+        site_shard in 0u32..4,
+        fail_sel in 0usize..3,
+        chunk in 1usize..5,
+    ) {
+        use olive_core::aggregation::{ShardFailure, ShardRuntime, ShardedAggregator};
+        use olive_memsim::{FaultEvent, FaultKind, FaultPlan, RetryPolicy, EGRESS_CHUNK};
+        use olive_tee::{AttestationService, Enclave, EnclaveConfig};
+        let d = 32;
+        let n_chunks = updates.len().div_ceil(chunk) as u32;
+        prop_assume!(site_chunk < n_chunks);
+        let (fault, expect_egress) = [
+            (FaultKind::TunnelTamper, false),
+            (FaultKind::TunnelDrop, false),
+            (FaultKind::ReceiptCorrupt, true),
+        ][fail_sel];
+        let site_chunk = if expect_egress { EGRESS_CHUNK } else { site_chunk };
+        let events = vec![
+            FaultEvent { kind: fault, chunk: site_chunk, shard: site_shard % 4 };
+            RetryPolicy::MAX_ATTEMPTS as usize
+        ];
+        let service = AttestationService::new([7u8; 32]);
+        let mut coordinator = Enclave::launch(&EnclaveConfig::default(), [8u8; 32]);
+        coordinator.attest(&service, b"fault-proptest");
+        let mut rt = ShardRuntime::provision(
+            &service, &mut coordinator, b"fault-proptest", [9u8; 32], 96 << 20, d, 4,
+        ).expect("provisioning succeeds in the simulation");
+        rt.set_fault_plan(FaultPlan::from_events(events));
+        let mut tr = RecordingTracer::new(Granularity::Element);
+        let mut agg = ShardedAggregator::new(AggregatorKind::Advanced, d, 1, rt);
+        for c in updates.chunks(chunk) {
+            agg.ingest(c, &mut tr);
+        }
+        let e = agg.finalize_with_peaks(&mut tr).expect_err("the stacked script must exhaust");
+        prop_assert_eq!(e.shard, site_shard % 4);
+        prop_assert_eq!(e.attempts, RetryPolicy::MAX_ATTEMPTS);
+        match fault {
+            FaultKind::TunnelDrop => prop_assert_eq!(e.failure, ShardFailure::Dropped),
+            FaultKind::ReceiptCorrupt =>
+                prop_assert_eq!(e.failure, ShardFailure::ReceiptMismatch),
+            _ => prop_assert!(matches!(e.failure, ShardFailure::Tunnel(_))),
         }
     }
 

@@ -61,6 +61,7 @@ fn runtime(d: usize, shards: usize, seed: u8) -> ShardRuntime {
         d,
         shards,
     )
+    .expect("provisioning succeeds in the simulation")
 }
 
 fn stream_sharded(
@@ -76,7 +77,7 @@ fn stream_sharded(
         agg.ingest(c, &mut tr);
     }
     assert_eq!(agg.clients(), updates.len());
-    let (out, peaks, rt) = agg.finalize_with_peaks(&mut tr);
+    let (out, peaks, rt) = agg.finalize_with_peaks(&mut tr).expect("fault-free round");
     assert!(
         rt.live().iter().all(|&b| b == 0),
         "{kind:?} S={shards} chunk={chunk}: shard budgets must balance to zero"
@@ -131,7 +132,7 @@ fn system_round_is_shard_invariant() {
             sys.set_chunk(3);
             sys.set_shards(shards);
             let mut tr = RecordingTracer::new(Granularity::Element);
-            let report = sys.run_round(&mut tr);
+            let report = sys.run_round(&mut tr).expect("round");
             (sys.global_params(), tr.digest(), report)
         };
         let (ref_params, ref_digest, ref_report) = run(1);
@@ -160,7 +161,7 @@ fn kill_and_restore_composes_with_sharding() {
         sys.set_threads(2);
         sys.set_chunk(2);
         let mut tr = RecordingTracer::new(Granularity::Element);
-        sys.run_round(&mut tr);
+        sys.run_round(&mut tr).expect("round");
         (sys.global_params(), tr.digest())
     };
     for restore_shards in [4usize, 1] {
@@ -169,7 +170,7 @@ fn kill_and_restore_composes_with_sharding() {
         sys.set_chunk(2);
         sys.set_shards(4);
         let mut tr = RecordingTracer::new(Granularity::Element);
-        let killed = sys.run_round_kill_after(1, &mut tr);
+        let killed = sys.run_round_kill_after(1, &mut tr).expect("kill injection is not a fault");
         assert!(killed.is_none() && sys.interrupted(), "kill point must fire");
         sys.set_shards(restore_shards);
         let report = sys.restore_round(&mut tr).expect("genuine checkpoint restores");
@@ -203,7 +204,8 @@ fn paper_scale_advanced_round_fits_sharded_epc() {
     for c in updates.chunks(256) {
         agg.ingest(c, &mut olive_memsim::NullTracer);
     }
-    let (out, peaks, rt) = agg.finalize_with_peaks(&mut olive_memsim::NullTracer);
+    let (out, peaks, rt) =
+        agg.finalize_with_peaks(&mut olive_memsim::NullTracer).expect("fault-free round");
     assert_eq!(out.len(), d);
     assert!(rt.live().iter().all(|&b| b == 0), "budgets balance at scale");
     for (i, &p) in peaks.iter().enumerate() {
