@@ -64,6 +64,24 @@ fn overhead_report(rig: &mut IngestionRig, kind: AggregatorKind, chunk: usize) {
     let (ratio, ingest_ns, ckpt_ns) = runs[2];
     let overhead = ratio * 100.0;
     let agg = kind_name(kind);
+    // Telemetry is the canonical machine-readable stream now
+    // (`OLIVE_METRICS`); the println prefix below is a compat shim for
+    // existing log scrapers, kept for one release.
+    olive_telemetry::Telemetry::from_env().bench(
+        "checkpoint_overhead",
+        &[
+            ("agg", agg.into()),
+            ("n", (N as u64).into()),
+            ("k", (K as u64).into()),
+            ("d", (D as u64).into()),
+            ("chunk", (chunk as u64).into()),
+        ],
+        &[
+            ("ingest_ns", ingest_ns.into()),
+            ("ckpt_ns", ckpt_ns.into()),
+            ("overhead_pct", overhead.into()),
+        ],
+    );
     println!(
         "checkpoint_overhead: {{\"agg\":\"{agg}\",\"n\":{N},\"k\":{K},\"d\":{D},\"chunk\":{chunk},\
          \"ingest_ns\":{ingest_ns},\"ckpt_ns\":{ckpt_ns},\"overhead_pct\":{overhead:.2}}}"

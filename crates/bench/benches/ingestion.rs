@@ -59,6 +59,23 @@ fn ws_report(rig: &mut IngestionRig, config: &str, chunk: Option<usize>) {
         }
     }
     let limit = rig.epc_limit();
+    // Telemetry is the canonical machine-readable stream now
+    // (`OLIVE_METRICS`); the println prefix below is a compat shim for
+    // existing log scrapers, kept for one release.
+    olive_telemetry::Telemetry::from_env().bench(
+        "ingestion_ws",
+        &[
+            ("config", config.into()),
+            ("n", (rig.n() as u64).into()),
+            ("k", (K as u64).into()),
+            ("d", (D as u64).into()),
+            ("chunk", (chunk.unwrap_or_else(|| rig.n()) as u64).into()),
+            ("peak_bytes", ws.peak.into()),
+            ("epc_limit", limit.into()),
+            ("would_page", (ws.peak > limit).into()),
+        ],
+        &[],
+    );
     println!(
         "ingestion_ws: {{\"config\":\"{config}\",\"n\":{},\"k\":{K},\"d\":{D},\"chunk\":{},\
          \"peak_bytes\":{},\"epc_limit\":{limit},\"would_page\":{}}}",
@@ -124,7 +141,24 @@ fn bench_ingestion(c: &mut Criterion) {
                 let (_, peaks, rt) =
                     rig.sharded_streaming_pass(&msgs, AggregatorKind::Advanced, CHUNK, rt);
                 let limit = rig.epc_limit();
+                let tel = olive_telemetry::Telemetry::from_env();
                 for (i, &peak) in peaks.iter().enumerate() {
+                    tel.bench(
+                        "ingestion_ws",
+                        &[
+                            ("config", "sharded_advanced".into()),
+                            ("n", (n as u64).into()),
+                            ("k", (K as u64).into()),
+                            ("d", (D as u64).into()),
+                            ("chunk", (CHUNK as u64).into()),
+                            ("shards", (shards as u64).into()),
+                            ("shard", (i as u64).into()),
+                            ("peak_bytes", peak.into()),
+                            ("epc_limit", limit.into()),
+                            ("would_page", (peak > limit).into()),
+                        ],
+                        &[],
+                    );
                     println!(
                         "ingestion_ws: {{\"config\":\"sharded_advanced\",\"n\":{n},\"k\":{K},\
                          \"d\":{D},\"chunk\":{CHUNK},\"shards\":{shards},\"shard\":{i},\
@@ -185,6 +219,25 @@ fn bench_ingestion(c: &mut Criterion) {
                 }
             }
             let stats = rt.recovery_stats();
+            olive_telemetry::Telemetry::from_env().bench(
+                "recovery_overhead",
+                &[
+                    ("n", (n as u64).into()),
+                    ("k", (K as u64).into()),
+                    ("d", (D as u64).into()),
+                    ("chunk", (CHUNK as u64).into()),
+                    ("shards", (shards as u64).into()),
+                    ("fault", kill_site.into()),
+                    ("reps", (REPS as u64).into()),
+                    ("relaunches", stats.relaunches.into()),
+                    ("sim_backoff_ms", stats.backoff_ms.into()),
+                ],
+                &[
+                    ("sharded_ns", (totals[0] / REPS as u64).into()),
+                    ("checkpointed_ns", (totals[1] / REPS as u64).into()),
+                    ("failover_ns", (totals[2] / REPS as u64).into()),
+                ],
+            );
             println!(
                 "recovery_overhead: {{\"n\":{n},\"k\":{K},\"d\":{D},\"chunk\":{CHUNK},\
                  \"shards\":{shards},\"fault\":\"{kill_site}\",\"reps\":{REPS},\

@@ -72,14 +72,15 @@
 
 use olive_fl::SparseGradient;
 use olive_memsim::{
-    FaultKind, FaultPlan, ParallelTracer, RecoveryStats, RetryPolicy, ShardPlan, StateError,
-    StateReader, StateWriter, EGRESS_CHUNK,
+    FaultEvent, FaultKind, FaultPlan, ParallelTracer, RecoveryStats, RetryPolicy, ShardPlan,
+    StateError, StateReader, StateWriter, EGRESS_CHUNK,
 };
 use olive_tee::attestation::Measurement;
 use olive_tee::{
     attestation::digest, AttestationService, Enclave, EnclaveConfig, Quote, ShardTunnel, TeeError,
     TunnelAnchor, TunnelError, TunnelRole,
 };
+use olive_telemetry::Telemetry;
 
 use crate::aggregation::{Aggregator, AggregatorKind, StreamingAggregator};
 use crate::cell::{cell_index, concat_cells, DUMMY_INDEX};
@@ -230,6 +231,11 @@ pub struct ShardRuntime {
     faults: FaultPlan,
     retry: RetryPolicy,
     stats: RecoveryStats,
+    /// Side-band metrics handle (disarmed by default): ingress/egress/
+    /// relaunch spans, fault and recovery events, per-shard EPC counters
+    /// and checkpoint-blob histograms. Strictly read-only over the round —
+    /// arming it never perturbs output, signature or trace.
+    telemetry: Telemetry,
 }
 
 impl core::fmt::Debug for ShardRuntime {
@@ -343,7 +349,33 @@ impl ShardRuntime {
             faults: FaultPlan::empty(),
             retry: RetryPolicy::default(),
             stats: RecoveryStats::default(),
+            telemetry: Telemetry::off(),
         })
+    }
+
+    /// Arms side-band telemetry on the whole shard plane: the runtime
+    /// itself, every shard enclave (seal/open byte counters) and both
+    /// ends of every tunnel (frame counters), and emits one
+    /// `shard_provisioned` event per stripe so the topology is on the
+    /// stream. Re-threaded automatically across relaunches.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for (i, sh) in self.shards.iter_mut().enumerate() {
+            sh.enclave.set_telemetry(telemetry.clone());
+            sh.coord_end.set_telemetry(telemetry.clone());
+            sh.shard_end.set_telemetry(telemetry.clone());
+            if telemetry.is_armed() {
+                let range = self.plan.range(i);
+                telemetry.event(
+                    "shard_provisioned",
+                    &[
+                        ("shard", (i as u64).into()),
+                        ("stripe_lo", (range.start as u64).into()),
+                        ("stripe_hi", (range.end as u64).into()),
+                    ],
+                );
+            }
+        }
+        self.telemetry = telemetry;
     }
 
     /// Number of shards.
@@ -405,7 +437,12 @@ impl ShardRuntime {
     /// Mirrors a coordinator allocation of `bytes` onto the shard
     /// budgets, each charged its stripe-weighted share.
     pub fn alloc_split(&mut self, bytes: u64) {
-        for (sh, part) in self.shards.iter_mut().zip(self.plan.split_charge(bytes)) {
+        let armed = self.telemetry.is_armed();
+        for (i, (sh, part)) in self.shards.iter_mut().zip(self.plan.split_charge(bytes)).enumerate()
+        {
+            if armed {
+                self.telemetry.count("epc_charge_bytes", &format!("shard{i}"), part);
+            }
             sh.enclave.epc.alloc(part);
         }
     }
@@ -413,7 +450,12 @@ impl ShardRuntime {
     /// Mirrors a coordinator release of `bytes` (the split is
     /// deterministic, so alloc/free always balance exactly).
     pub fn free_split(&mut self, bytes: u64) {
-        for (sh, part) in self.shards.iter_mut().zip(self.plan.split_charge(bytes)) {
+        let armed = self.telemetry.is_armed();
+        for (i, (sh, part)) in self.shards.iter_mut().zip(self.plan.split_charge(bytes)).enumerate()
+        {
+            if armed {
+                self.telemetry.count("epc_free_bytes", &format!("shard{i}"), part);
+            }
             sh.enclave.epc.free(part);
         }
     }
@@ -437,6 +479,14 @@ impl ShardRuntime {
             payload.extend_from_slice(&c.to_le_bytes());
         }
         let chunk = self.chunk_cursor;
+        let _span = self.telemetry.span(
+            "shard_ingress",
+            &[
+                ("chunk", chunk.into()),
+                ("shards", (self.shards.len() as u64).into()),
+                ("segment_bytes", (payload.len() as u64).into()),
+            ],
+        );
         for i in 0..self.shards.len() {
             self.deliver_with_recovery(i, chunk, &payload)?;
         }
@@ -456,6 +506,8 @@ impl ShardRuntime {
     /// a [`ShardError`] with the round still restorable.
     pub fn egress_round(&mut self, delta: &[f32]) -> Result<Vec<f32>, ShardError> {
         assert_eq!(delta.len(), self.plan.d(), "delta dimension must match the plan");
+        let _span =
+            self.telemetry.span("shard_egress", &[("shards", (self.shards.len() as u64).into())]);
         let mut out = Vec::with_capacity(delta.len());
         for i in 0..self.shards.len() {
             let stripe = &delta[self.plan.range(i)];
@@ -483,9 +535,12 @@ impl ShardRuntime {
             attempts += 1;
             if attempts > 1 {
                 self.stats.retries += 1;
-                self.stats.backoff_ms += self.retry.backoff_ms(attempts);
+                let backoff = self.retry.backoff_ms(attempts);
+                self.stats.backoff_ms += backoff;
+                self.note_retry("in", chunk, shard, attempts, backoff);
             }
             if self.faults.fire(FaultKind::ShardKill, chunk, shard) {
+                note_fault(&self.telemetry, FaultKind::ShardKill, chunk, shard);
                 self.relaunch_shard(i).map_err(|failure| ShardError {
                     shard,
                     attempts,
@@ -517,9 +572,11 @@ impl ShardRuntime {
         if self.faults.fire(FaultKind::TunnelDrop, chunk, shard) {
             // The frame never arrives; the send sequence number is
             // burned, which the receiver's floor tolerates as a gap.
+            note_fault(&self.telemetry, FaultKind::TunnelDrop, chunk, shard);
             return Err(ShardFailure::Dropped);
         }
         if self.faults.fire(FaultKind::TunnelTamper, chunk, shard) {
+            note_fault(&self.telemetry, FaultKind::TunnelTamper, chunk, shard);
             msg.tamper();
         }
         let transient = payload.len() as u64;
@@ -554,9 +611,12 @@ impl ShardRuntime {
             attempts += 1;
             if attempts > 1 {
                 self.stats.retries += 1;
-                self.stats.backoff_ms += self.retry.backoff_ms(attempts);
+                let backoff = self.retry.backoff_ms(attempts);
+                self.stats.backoff_ms += backoff;
+                self.note_retry("eg", EGRESS_CHUNK, shard, attempts, backoff);
             }
             if self.faults.fire(FaultKind::ShardKill, EGRESS_CHUNK, shard) {
+                note_fault(&self.telemetry, FaultKind::ShardKill, EGRESS_CHUNK, shard);
                 self.relaunch_shard(i).map_err(|failure| ShardError {
                     shard,
                     attempts,
@@ -580,9 +640,11 @@ impl ShardRuntime {
         let sh = &mut self.shards[i];
         let mut down = sh.coord_end.seal(MSG_STRIPE, bytes);
         if self.faults.fire(FaultKind::TunnelDrop, EGRESS_CHUNK, shard) {
+            note_fault(&self.telemetry, FaultKind::TunnelDrop, EGRESS_CHUNK, shard);
             return Err(ShardFailure::Dropped);
         }
         if self.faults.fire(FaultKind::TunnelTamper, EGRESS_CHUNK, shard) {
+            note_fault(&self.telemetry, FaultKind::TunnelTamper, EGRESS_CHUNK, shard);
             down.tamper();
         }
         let transient = bytes.len() as u64;
@@ -601,6 +663,7 @@ impl ShardRuntime {
         // the coordinator's hash compare catches it. (Frame-level tampering
         // is TunnelTamper's job and dies at the AEAD instead.)
         if self.faults.fire(FaultKind::ReceiptCorrupt, EGRESS_CHUNK, shard) {
+            note_fault(&self.telemetry, FaultKind::ReceiptCorrupt, EGRESS_CHUNK, shard);
             receipt[0] ^= 0x01;
         }
         let up = sh.shard_end.seal(MSG_RECEIPT, &receipt);
@@ -636,6 +699,9 @@ impl ShardRuntime {
         w.put_u64(sh.chunks_done);
         w.put_u64(sh.routed_cells);
         let blob = sh.enclave.seal(&w.into_bytes(), SHARD_CKPT_LABEL);
+        if self.telemetry.is_armed() {
+            self.telemetry.observe("ckpt_blob_bytes", &format!("shard{i}"), blob.len() as u64);
+        }
         let counter = u64::from_be_bytes(blob[..8].try_into().expect("8-byte counter prefix"));
         sh.ckpt_floor = sh.ckpt_floor.max(counter);
         sh.ckpt_prev = sh.ckpt_store.take();
@@ -654,6 +720,9 @@ impl ShardRuntime {
         let shard = i as u32;
         let sh = &mut self.shards[i];
         sh.dh_epoch += 1;
+        let _span = self
+            .telemetry
+            .span("shard_relaunch", &[("shard", shard.into()), ("dh_epoch", sh.dh_epoch.into())]);
         let mut enclave = Enclave::launch_with_dh_epoch(&self.shard_cfg, sh.seed, sh.dh_epoch);
         let shard_quote = enclave.attest(&self.service, SHARD_ATTEST_CONTEXT);
         let coord_end = self
@@ -675,6 +744,9 @@ impl ShardRuntime {
         let (chunks_done, routed_cells) = if let Some(newest) = sh.ckpt_store.as_ref() {
             let stale_served = sh.ckpt_prev.is_some()
                 && self.faults.fire(FaultKind::StaleSeal, EGRESS_CHUNK, shard);
+            if stale_served {
+                note_fault(&self.telemetry, FaultKind::StaleSeal, EGRESS_CHUNK, shard);
+            }
             let floor = sh.ckpt_floor;
             let epoch = self.round_epoch;
             let restored = if stale_served {
@@ -708,7 +780,40 @@ impl ShardRuntime {
         sh.shard_end = shard_end;
         sh.chunks_done = chunks_done;
         sh.routed_cells = routed_cells;
+        // The fresh incarnation carries fresh handles: re-thread telemetry
+        // into the relaunched enclave and both rebuilt tunnel ends.
+        sh.enclave.set_telemetry(self.telemetry.clone());
+        sh.coord_end.set_telemetry(self.telemetry.clone());
+        sh.shard_end.set_telemetry(self.telemetry.clone());
+        self.telemetry.event(
+            "shard_restore",
+            &[
+                ("shard", shard.into()),
+                ("chunks_done", chunks_done.into()),
+                ("routed_cells", routed_cells.into()),
+            ],
+        );
         Ok(())
+    }
+
+    /// Emits one `recovery_attempt` event and bumps the `retry_attempts`
+    /// counter under the retried site (`in@chunk.shard` ingress,
+    /// `eg@e.shard` egress).
+    fn note_retry(&self, phase: &str, chunk: u32, shard: u32, attempt: u32, backoff_ms: u64) {
+        if !self.telemetry.is_armed() {
+            return;
+        }
+        let chunk = if chunk == EGRESS_CHUNK { "e".to_string() } else { chunk.to_string() };
+        let site = format!("{phase}@{chunk}.{shard}");
+        self.telemetry.event(
+            "recovery_attempt",
+            &[
+                ("site", site.as_str().into()),
+                ("attempt", attempt.into()),
+                ("backoff_ms", backoff_ms.into()),
+            ],
+        );
+        self.telemetry.count("retry_attempts", &site, 1);
     }
 
     /// Per-shard EPC peaks (bytes) for the current accounting epoch, in
@@ -764,6 +869,16 @@ fn restore_ckpt(
     let chunks_done = r.get_u64().map_err(corrupt)?;
     let routed_cells = r.get_u64().map_err(corrupt)?;
     Ok((chunks_done, routed_cells))
+}
+
+/// Emits one `fault_fired` telemetry event for a consumed fault-plan
+/// event, labeled with the `kind@chunk.shard` site grammar shared with
+/// `OLIVE_FAULTS` scripts.
+fn note_fault(telemetry: &Telemetry, kind: FaultKind, chunk: u32, shard: u32) {
+    if telemetry.is_armed() {
+        let site = FaultEvent { kind, chunk, shard }.render();
+        telemetry.event("fault_fired", &[("site", site.as_str().into())]);
+    }
 }
 
 /// A [`StreamingAggregator`] wrapped in the shard plane: same canonical

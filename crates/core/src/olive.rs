@@ -35,6 +35,7 @@ use olive_nn::Model;
 use olive_tee::{
     AttestationService, ClientSession, Enclave, EnclaveConfig, SealedMessage, TeeError, UserId,
 };
+use olive_telemetry::Telemetry;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -123,6 +124,26 @@ pub struct OliveConfig {
     pub seed: u64,
 }
 
+/// Deterministic per-round telemetry summary embedded in every
+/// [`RoundReport`]. Always populated — armed or not, it is plain
+/// accounting over the round's schedule, not sink output — and zeroed
+/// for empty/monolithic aspects that did not occur (an unsharded round
+/// reports an explicit all-zero [`RecoveryStats`], never an absence).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundTelemetry {
+    /// Ingestion chunks folded by the completing invocation (a restored
+    /// round counts the chunks folded after the restore point).
+    pub chunks: u64,
+    /// Coordinator round checkpoints sealed during those chunks.
+    pub ckpt_seals: u64,
+    /// Total bytes of the sealed coordinator checkpoint blobs.
+    pub ckpt_bytes: u64,
+    /// Shard-plane recovery work (retries, relaunches, simulated
+    /// backoff) performed during this round; zeroed on the monolithic
+    /// path and for fault-free sharded rounds.
+    pub recovery: RecoveryStats,
+}
+
 /// What one round produced — including everything the *adversary* gets
 /// (the processing order of users, needed by the attack's trace parser).
 #[derive(Clone, Debug)]
@@ -150,6 +171,9 @@ pub struct RoundReport {
     pub shard_peaks: Vec<u64>,
     /// Enclave signature over the updated global parameters.
     pub model_signature: [u8; 32],
+    /// Deterministic side-band telemetry summary (chunk/checkpoint
+    /// accounting plus the round's shard-recovery delta).
+    pub telemetry: RoundTelemetry,
 }
 
 /// The running system: server + enclave + provisioned clients.
@@ -201,6 +225,11 @@ pub struct OliveSystem {
     /// (simulating platform NV storage that survives enclave death):
     /// [`OliveSystem::restore_round`] refuses any blob sealed earlier.
     ckpt_floor: u64,
+    /// The system-wide side-band metrics handle (armed from
+    /// `OLIVE_METRICS` at provisioning; [`OliveSystem::set_telemetry`]
+    /// overrides). Threaded through the enclave, every client session,
+    /// and the shard plane — and re-threaded across every relaunch.
+    telemetry: Telemetry,
 }
 
 /// The untrusted remainder of an in-flight round: everything that lives
@@ -315,8 +344,10 @@ impl OliveSystem {
         assert_eq!(clients.len(), cfg.n_clients, "client shards vs n_clients mismatch");
         let mut seed_bytes = [0u8; 32];
         seed_bytes[..8].copy_from_slice(&cfg.seed.to_be_bytes());
+        let telemetry = Telemetry::from_env();
         let service = AttestationService::new(seed_bytes);
         let mut enclave = Enclave::launch(&enclave_cfg, seed_bytes);
+        enclave.set_telemetry(telemetry.clone());
         let quote = enclave.attest(&service, ATTEST_CONTEXT);
         let measurement = enclave.measurement();
         let sessions: Vec<ClientSession> = clients
@@ -325,7 +356,7 @@ impl OliveSystem {
                 let mut cs = seed_bytes;
                 cs[24..28].copy_from_slice(&c.user.to_be_bytes());
                 cs[28] ^= 0xC1;
-                let session = ClientSession::establish(
+                let mut session = ClientSession::establish(
                     c.user,
                     service.public_key(),
                     &measurement,
@@ -333,6 +364,7 @@ impl OliveSystem {
                     cs,
                 )
                 .expect("attestation must succeed in the simulation");
+                session.set_telemetry(telemetry.clone());
                 enclave
                     .register_client(c.user, session.dh_public())
                     .expect("the enclave attested above, so registration is permitted");
@@ -365,6 +397,23 @@ impl OliveSystem {
             pending: None,
             ckpt_store: None,
             ckpt_floor: 0,
+            telemetry,
+        }
+    }
+
+    /// Replaces the system-wide telemetry handle and re-threads it
+    /// through every instrumented component: the coordinator enclave,
+    /// every client session, and the shard plane (if provisioned).
+    /// Arming or swapping the sink never perturbs round output,
+    /// signature or trace — telemetry is strictly side-band.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.enclave.set_telemetry(telemetry.clone());
+        for s in &mut self.sessions {
+            s.set_telemetry(telemetry.clone());
+        }
+        if let Some(rt) = self.shard_rt.as_mut() {
+            rt.set_telemetry(telemetry);
         }
     }
 
@@ -438,11 +487,19 @@ impl OliveSystem {
             return Ok(());
         }
         self.shard_provision_epoch += 1;
+        let _span = self.telemetry.span(
+            "shard_provision",
+            &[
+                ("shards", (s as u64).into()),
+                ("d", (self.server.dim() as u64).into()),
+                ("epoch", self.shard_provision_epoch.into()),
+            ],
+        );
         let mut seed = self.seed_bytes;
         for (b, e) in seed[8..12].iter_mut().zip(self.shard_provision_epoch.to_be_bytes()) {
             *b ^= e;
         }
-        self.shard_rt = Some(ShardRuntime::provision(
+        let mut rt = ShardRuntime::provision(
             &self.service,
             &mut self.enclave,
             ATTEST_CONTEXT,
@@ -450,7 +507,9 @@ impl OliveSystem {
             self.enclave_cfg.epc_bytes,
             self.server.dim(),
             s,
-        )?);
+        )?;
+        rt.set_telemetry(self.telemetry.clone());
+        self.shard_rt = Some(rt);
         Ok(())
     }
 
@@ -469,6 +528,8 @@ impl OliveSystem {
 
     /// Recovery work (retries, relaunches, simulated backoff) the current
     /// shard plane has performed; `None` on the monolithic path.
+    #[deprecated(note = "read `RoundReport::telemetry.recovery` instead — it is always \
+                populated (zeroed when unsharded) and scoped to the round")]
     pub fn shard_recovery_stats(&self) -> Option<RecoveryStats> {
         self.shard_rt.as_ref().map(|rt| rt.recovery_stats())
     }
@@ -555,6 +616,7 @@ impl OliveSystem {
                 rt.set_fault_plan(plan);
             }
         }
+        let _round_span = self.telemetry.span("round", &[("round", self.round.into())]);
         let pending = self.prepare_round();
         if pending.sampled.is_empty() {
             return Ok(Some(self.finish_empty_round(pending.t)));
@@ -576,6 +638,10 @@ impl OliveSystem {
         let t = self.round;
         // Line 5: secure in-enclave sampling.
         let sampled = sample_clients(self.cfg.n_clients, self.cfg.sample_rate, &mut self.rng);
+        let _span = self.telemetry.span(
+            "sample",
+            &[("round", t.into()), ("participants", (sampled.len() as u64).into())],
+        );
         self.enclave.begin_round(t, sampled.clone());
         if let Some(rt) = self.shard_rt.as_mut() {
             rt.begin_round();
@@ -622,7 +688,7 @@ impl OliveSystem {
         self.server.apply_aggregate(&delta);
         let model_signature = self.sign_params(t);
         self.round += 1;
-        RoundReport {
+        let report = RoundReport {
             round: t,
             processed_users: Vec::new(),
             k_per_user: 0,
@@ -631,7 +697,10 @@ impl OliveSystem {
             would_page: false,
             shard_peaks: self.shard_rt.as_ref().map(|rt| rt.peaks()).unwrap_or_default(),
             model_signature,
-        }
+            telemetry: RoundTelemetry::default(),
+        };
+        self.telemetry.flush_stats();
+        report
     }
 
     /// Lines 8–12 (+ Algorithm 6 line 12 and line 14): chunked
@@ -658,8 +727,12 @@ impl OliveSystem {
         // tunnels before it folds. Taken out of `self` for the loop so
         // the opener thread's enclave borrow stays exclusive.
         let mut rt = self.shard_rt.take();
+        // The round's recovery delta is the runtime's monotone counters
+        // minus this snapshot; unsharded rounds keep the explicit zeroes.
+        let recovery_base = rt.as_ref().map(|rt| rt.recovery_stats()).unwrap_or_default();
+        let mut round_tel = RoundTelemetry::default();
         let mut resident = st.agg.resident_bytes();
-        st.ws.alloc(resident);
+        st.ws.alloc_counted(resident, &self.telemetry, "coordinator");
         self.enclave.epc.alloc(resident);
         if let Some(rt) = rt.as_mut() {
             rt.alloc_split(resident);
@@ -670,7 +743,7 @@ impl OliveSystem {
         let mut staged_bytes = 0u64;
         if let Some(first) = msg_chunks.get(st.next_chunk) {
             staged_bytes = staged_chunk_bytes(first);
-            st.ws.alloc(staged_bytes);
+            st.ws.alloc_counted(staged_bytes, &self.telemetry, "coordinator");
             self.enclave.epc.alloc(staged_bytes);
             if let Some(rt) = rt.as_mut() {
                 rt.alloc_split(staged_bytes);
@@ -678,15 +751,19 @@ impl OliveSystem {
             staged = open_and_decode(&mut self.enclave, first);
         }
         for i in st.next_chunk..msg_chunks.len() {
+            let _chunk_span = self.telemetry.span(
+                "ingest_chunk",
+                &[("chunk", (i as u64).into()), ("clients", (msg_chunks[i].len() as u64).into())],
+            );
             // Charge the transient ingest scratch, and — when
             // double-buffering — the next chunk's staging, both live
             // while this chunk folds.
             let scratch = st.agg.ingest_scratch_bytes(staged.len(), k);
-            st.ws.alloc(scratch);
+            st.ws.alloc_counted(scratch, &self.telemetry, "coordinator");
             self.enclave.epc.alloc(scratch);
             let next_msgs = msg_chunks.get(i + 1).copied();
             let next_bytes = next_msgs.map(staged_chunk_bytes).unwrap_or(0);
-            st.ws.alloc(next_bytes);
+            st.ws.alloc_counted(next_bytes, &self.telemetry, "coordinator");
             self.enclave.epc.alloc(next_bytes);
             if let Some(rt2) = rt.as_mut() {
                 rt2.alloc_split(scratch);
@@ -742,9 +819,9 @@ impl OliveSystem {
                 st.agg.ingest(&staged, tr);
                 Vec::new()
             };
-            st.ws.free(scratch);
+            st.ws.free_counted(scratch, &self.telemetry, "coordinator");
             self.enclave.epc.free(scratch);
-            st.ws.free(staged_bytes);
+            st.ws.free_counted(staged_bytes, &self.telemetry, "coordinator");
             self.enclave.epc.free(staged_bytes);
             if let Some(rt) = rt.as_mut() {
                 rt.free_split(scratch);
@@ -753,7 +830,8 @@ impl OliveSystem {
             staged_bytes = next_bytes;
             staged = next;
             let now_resident = st.agg.resident_bytes();
-            st.ws.resize(resident, now_resident);
+            st.ws.free_counted(resident, &self.telemetry, "coordinator");
+            st.ws.alloc_counted(now_resident, &self.telemetry, "coordinator");
             self.enclave.epc.free(resident);
             self.enclave.epc.alloc(now_resident);
             if let Some(rt) = rt.as_mut() {
@@ -761,13 +839,23 @@ impl OliveSystem {
                 rt.alloc_split(now_resident);
             }
             resident = now_resident;
+            round_tel.chunks += 1;
 
             // Chunk i is folded: seal the restore point. Sealing touches
             // only enclave-private state (seal counter, sealing key), so
             // it emits no adversary-visible trace events — checkpoint
             // cadence cannot perturb the bitwise trace contract.
             if self.checkpoint {
-                self.seal_checkpoint(&pending, &st.agg, &mut st.ws, st.chunk_size, threads, i + 1);
+                let blob_bytes = self.seal_checkpoint(
+                    &pending,
+                    &st.agg,
+                    &mut st.ws,
+                    st.chunk_size,
+                    threads,
+                    i + 1,
+                );
+                round_tel.ckpt_seals += 1;
+                round_tel.ckpt_bytes += blob_bytes;
             }
             if kill_after == Some(i) {
                 // The simulated crash: enclave memory — aggregator state,
@@ -777,6 +865,7 @@ impl OliveSystem {
                 // and the sealed checkpoint) plus the rollback-protected
                 // counter floor.
                 self.enclave = Enclave::launch(&self.enclave_cfg, self.seed_bytes);
+                self.enclave.set_telemetry(self.telemetry.clone());
                 // The shard enclaves model separate machines and outlive
                 // the coordinator crash; the restore path re-provisions
                 // their tunnels against the relaunched coordinator.
@@ -786,8 +875,9 @@ impl OliveSystem {
             }
         }
 
+        let fin_span = self.telemetry.span("finalize", &[("round", t.into())]);
         let fin_scratch = st.agg.finalize_scratch_bytes();
-        st.ws.alloc(fin_scratch);
+        st.ws.alloc_counted(fin_scratch, &self.telemetry, "coordinator");
         self.enclave.epc.alloc(fin_scratch);
         if let Some(rt) = rt.as_mut() {
             rt.alloc_split(fin_scratch);
@@ -813,9 +903,9 @@ impl OliveSystem {
                 }
             }
         }
-        st.ws.free(fin_scratch);
+        st.ws.free_counted(fin_scratch, &self.telemetry, "coordinator");
         self.enclave.epc.free(fin_scratch);
-        st.ws.free(resident);
+        st.ws.free_counted(resident, &self.telemetry, "coordinator");
         self.enclave.epc.free(resident);
         if let Some(rt) = rt.as_mut() {
             rt.free_split(fin_scratch);
@@ -854,7 +944,14 @@ impl OliveSystem {
             Some(rt) => rt.any_would_page(),
             None => st.ws.peak > self.enclave.epc.limit,
         };
+        round_tel.recovery =
+            rt.as_ref().map(|rt| rt.recovery_stats().since(recovery_base)).unwrap_or_default();
         self.shard_rt = rt;
+        drop(fin_span);
+        // Drain the accumulated counters/histograms at the round
+        // boundary — a deterministic point, so the stream's record order
+        // is reproducible run to run.
+        self.telemetry.flush_stats();
         Ok(Some(RoundReport {
             round: t,
             processed_users: pending.sampled,
@@ -864,6 +961,7 @@ impl OliveSystem {
             would_page,
             shard_peaks,
             model_signature,
+            telemetry: round_tel,
         }))
     }
 
@@ -887,7 +985,9 @@ impl OliveSystem {
         chunk_size: usize,
         threads: usize,
         chunks_done: usize,
-    ) {
+    ) -> u64 {
+        let mut span =
+            self.telemetry.span("checkpoint_seal", &[("chunks_done", (chunks_done as u64).into())]);
         let mut w = StateWriter::new();
         w.put_u8(CKPT_VERSION);
         w.put_u64(pending.t);
@@ -918,15 +1018,19 @@ impl OliveSystem {
         // The serialized state is enclave-resident while it is built and
         // sealed; charge it like any other transient.
         let transient = plain.len() as u64;
-        ws.alloc(transient);
+        ws.alloc_counted(transient, &self.telemetry, "coordinator");
         self.enclave.epc.alloc(transient);
         let sealed = self.enclave.seal(&plain, CKPT_LABEL);
-        ws.free(transient);
+        ws.free_counted(transient, &self.telemetry, "coordinator");
         self.enclave.epc.free(transient);
 
+        let blob_bytes = sealed.len() as u64;
+        span.field("blob_bytes", blob_bytes.into());
+        self.telemetry.observe("ckpt_blob_bytes", "coordinator", blob_bytes);
         let counter = u64::from_be_bytes(sealed[..8].try_into().expect("8-byte counter prefix"));
         self.ckpt_floor = self.ckpt_floor.max(counter);
         self.ckpt_store = Some(sealed);
+        blob_bytes
     }
 
     /// Whether a killed round is awaiting [`OliveSystem::restore_round`].
@@ -998,10 +1102,18 @@ impl OliveSystem {
         tr: &mut TR,
     ) -> Result<Option<RoundReport>, RoundError> {
         assert!(self.pending.is_some(), "restore_round requires an interrupted round");
+        let _span = self.telemetry.span(
+            "round_restore",
+            &[
+                ("round", self.pending.as_ref().expect("checked above").t.into()),
+                ("has_checkpoint", self.ckpt_store.is_some().into()),
+            ],
+        );
         let blob = self.ckpt_store.clone();
 
         // Cold relaunch + re-provisioning.
         self.enclave = Enclave::launch(&self.enclave_cfg, self.seed_bytes);
+        self.enclave.set_telemetry(self.telemetry.clone());
         self.enclave.attest(&self.service, ATTEST_CONTEXT);
         for s in &self.sessions {
             self.enclave

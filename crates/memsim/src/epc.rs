@@ -120,6 +120,31 @@ impl WorkingSet {
         self.free(old);
         self.alloc(new);
     }
+
+    /// [`WorkingSet::alloc`] that also feeds the side-band telemetry
+    /// plane: adds `bytes` to the `epc_charge_bytes` counter under
+    /// `budget` (e.g. `"coordinator"`, `"shard2"`). The accounting
+    /// itself is unchanged — telemetry reads, never perturbs.
+    pub fn alloc_counted(
+        &mut self,
+        bytes: u64,
+        telemetry: &olive_telemetry::Telemetry,
+        budget: &str,
+    ) {
+        telemetry.count("epc_charge_bytes", budget, bytes);
+        self.alloc(bytes);
+    }
+
+    /// [`WorkingSet::free`] mirrored onto the `epc_free_bytes` counter.
+    pub fn free_counted(
+        &mut self,
+        bytes: u64,
+        telemetry: &olive_telemetry::Telemetry,
+        budget: &str,
+    ) {
+        telemetry.count("epc_free_bytes", budget, bytes);
+        self.free(bytes);
+    }
 }
 
 /// Latency constants (nanoseconds) for converting hit/miss/fault counts into

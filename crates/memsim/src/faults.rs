@@ -92,6 +92,17 @@ pub struct FaultEvent {
     pub shard: u32,
 }
 
+impl FaultEvent {
+    /// Renders this event in the explicit `kind@chunk.shard` grammar —
+    /// the fault-site label telemetry records carry, and the per-event
+    /// form of [`FaultPlan::render`].
+    pub fn render(&self) -> String {
+        let chunk =
+            if self.chunk == EGRESS_CHUNK { "e".to_string() } else { self.chunk.to_string() };
+        format!("{}@{}.{}", self.kind.token(), chunk, self.shard)
+    }
+}
+
 /// A deterministic script of transport failures, consumed as it fires.
 ///
 /// Each event fires **once**: [`FaultPlan::fire`] removes the first
@@ -288,15 +299,7 @@ impl FaultPlan {
 
     /// Renders the plan back in the explicit `OLIVE_FAULTS` grammar.
     pub fn render(&self) -> String {
-        self.events
-            .iter()
-            .map(|e| {
-                let chunk =
-                    if e.chunk == EGRESS_CHUNK { "e".to_string() } else { e.chunk.to_string() };
-                format!("{}@{}.{}", e.kind.token(), chunk, e.shard)
-            })
-            .collect::<Vec<_>>()
-            .join(",")
+        self.events.iter().map(FaultEvent::render).collect::<Vec<_>>().join(",")
     }
 }
 
@@ -347,6 +350,19 @@ pub struct RecoveryStats {
     pub backoff_ms: u64,
 }
 
+impl RecoveryStats {
+    /// The recovery work done since `base` — a snapshot taken earlier
+    /// from the same runtime. Counters are monotone, so the per-round
+    /// delta the round report embeds is a plain field-wise subtraction.
+    pub fn since(self, base: RecoveryStats) -> RecoveryStats {
+        RecoveryStats {
+            retries: self.retries.saturating_sub(base.retries),
+            relaunches: self.relaunches.saturating_sub(base.relaunches),
+            backoff_ms: self.backoff_ms.saturating_sub(base.backoff_ms),
+        }
+    }
+}
+
 trait SaturatingShl {
     fn saturating_shl(self, shift: u32) -> Self;
 }
@@ -385,6 +401,10 @@ mod tests {
         // Round-trips through render (stale now prints as egress).
         let again = FaultPlan::parse(&plan.render()).expect("render is parseable");
         assert_eq!(again, plan);
+        // Per-event rendering — the telemetry fault-site labels.
+        assert_eq!(plan.events()[0].render(), "kill@2.0");
+        assert_eq!(plan.events()[3].render(), "receipt@e.2");
+        assert_eq!(plan.events()[4].render(), "stale@e.0");
     }
 
     #[test]

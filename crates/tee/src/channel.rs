@@ -6,6 +6,7 @@
 
 use olive_crypto::dh::DhKeyPair;
 use olive_crypto::CryptoEngine;
+use olive_telemetry::Telemetry;
 
 use crate::attestation::{verify_quote, AttestationError, Measurement, Quote};
 use crate::enclave::{nonce_bytes, session_info};
@@ -54,6 +55,9 @@ pub struct ClientSession {
     /// The crypto backend sealing this client's uploads (one dispatch
     /// decision shared with the enclave side via [`CryptoEngine::auto`]).
     engine: CryptoEngine,
+    /// Side-band metrics handle (disarmed by default): sealed upload
+    /// payload bytes feed `upload_sealed_bytes` keyed by backend.
+    telemetry: Telemetry,
 }
 
 impl core::fmt::Debug for ClientSession {
@@ -90,7 +94,13 @@ impl ClientSession {
             .hkdf(&quote.report.transcript_hash(), &shared, &session_info(user), 32)
             .try_into()
             .expect("hkdf returns requested length");
-        Ok(ClientSession { user, key, dh, nonce_counter: 0, engine })
+        Ok(ClientSession { user, key, dh, nonce_counter: 0, engine, telemetry: Telemetry::off() })
+    }
+
+    /// Arms side-band telemetry on this session (sessions come up with a
+    /// disarmed handle).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The client's DH share the enclave needs to derive the same key.
@@ -105,6 +115,11 @@ impl ClientSession {
 
     /// Encrypts one round's gradient encoding.
     pub fn seal_upload(&mut self, round: u64, payload: &[u8]) -> SealedMessage {
+        self.telemetry.count(
+            "upload_sealed_bytes",
+            self.engine.backend().name(),
+            payload.len() as u64,
+        );
         self.nonce_counter += 1;
         let mut msg = SealedMessage {
             user: self.user,

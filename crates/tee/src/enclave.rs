@@ -10,6 +10,7 @@ use std::collections::{HashMap, HashSet};
 use olive_crypto::dh::DhKeyPair;
 use olive_crypto::gcm::NONCE_LEN;
 use olive_crypto::CryptoEngine;
+use olive_telemetry::Telemetry;
 
 use crate::attestation::{measure, AttestationService, Measurement, Quote, Report};
 use crate::channel::{SealedMessage, AAD_CAPACITY};
@@ -107,6 +108,21 @@ impl EpcBudget {
         self.live = self.live.saturating_sub(bytes);
     }
 
+    /// [`EpcBudget::alloc`] that also feeds the side-band telemetry
+    /// plane: adds `bytes` to the `epc_charge_bytes` counter under
+    /// `budget` (e.g. `"coordinator"`). The accounting itself is
+    /// unchanged — telemetry reads, never perturbs.
+    pub fn alloc_counted(&mut self, bytes: u64, telemetry: &Telemetry, budget: &str) {
+        telemetry.count("epc_charge_bytes", budget, bytes);
+        self.alloc(bytes);
+    }
+
+    /// [`EpcBudget::free`] mirrored onto the `epc_free_bytes` counter.
+    pub fn free_counted(&mut self, bytes: u64, telemetry: &Telemetry, budget: &str) {
+        telemetry.count("epc_free_bytes", budget, bytes);
+        self.free(bytes);
+    }
+
     /// True if the recorded peak exceeds the EPC limit, i.e. the kernel
     /// would have had to page encrypted memory (the Figure 10 cliff).
     pub fn would_page(&self) -> bool {
@@ -154,6 +170,9 @@ pub struct Enclave {
     /// Set by [`Enclave::attest`]; registration is refused before it so a
     /// session key can never silently bind to the all-zeros salt.
     attested: bool,
+    /// Side-band telemetry handle (disarmed by default): seal/open byte
+    /// counters keyed by the crypto backend. Reads, never perturbs.
+    telemetry: Telemetry,
 }
 
 impl Enclave {
@@ -197,7 +216,16 @@ impl Enclave {
             engine,
             transcript_salt: [0u8; 32],
             attested: false,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Arms (or swaps) this enclave's side-band telemetry handle. The
+    /// default is the disarmed no-op handle; the owning system threads
+    /// its own handle through after launch (and after every relaunch,
+    /// which constructs a fresh disarmed enclave).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The enclave's measurement (what clients must pin).
@@ -351,6 +379,7 @@ impl Enclave {
         msg.write_aad(aad);
         let plain = gcm.open(&nonce, &msg.ciphertext, aad).map_err(|_| TeeError::AuthFailure)?;
         self.last_nonce.insert(msg.user, msg.nonce_counter);
+        self.telemetry.count("opened_bytes", self.engine.backend().name(), plain.len() as u64);
         Ok(plain)
     }
 
@@ -380,6 +409,7 @@ impl Enclave {
         let mut out = Vec::with_capacity(8 + plaintext.len() + 16);
         out.extend_from_slice(&counter.to_be_bytes());
         out.extend_from_slice(&gcm.seal(&nonce, plaintext, label));
+        self.telemetry.count("sealed_bytes", self.engine.backend().name(), plaintext.len() as u64);
         out
     }
 
@@ -397,6 +427,7 @@ impl Enclave {
         let plain = gcm.open(&nonce, ciphertext, label).map_err(|_| TeeError::AuthFailure)?;
         let floor = self.seal_counters.entry(label.to_vec()).or_insert(0);
         *floor = (*floor).max(counter);
+        self.telemetry.count("unsealed_bytes", self.engine.backend().name(), plain.len() as u64);
         Ok(plain)
     }
 

@@ -31,6 +31,7 @@
 use olive_crypto::dh::DhKeyPair;
 use olive_crypto::gcm::NONCE_LEN;
 use olive_crypto::CryptoEngine;
+use olive_telemetry::Telemetry;
 
 use crate::attestation::{verify_quote, AttestationError, Measurement, Quote};
 use crate::enclave::Enclave;
@@ -159,6 +160,9 @@ pub struct ShardTunnel {
     /// Replay floor for the receive direction: opened frames must carry a
     /// strictly larger sequence number.
     recv_floor: u64,
+    /// Side-band metrics handle (disarmed by default): sealed frames feed
+    /// the `tunnel_frames` counter keyed by stripe and direction.
+    telemetry: Telemetry,
 }
 
 impl core::fmt::Debug for ShardTunnel {
@@ -206,8 +210,22 @@ impl ShardTunnel {
         self.shard_id
     }
 
+    /// Arms side-band telemetry on this endpoint. Tunnels come up with a
+    /// disarmed handle; the shard runtime re-threads its own after
+    /// `establish` (and after every failover re-establishment).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
     /// Seals one frame in this endpoint's send direction.
     pub fn seal(&mut self, kind: u8, payload: &[u8]) -> TunnelMessage {
+        if self.telemetry.is_armed() {
+            let dir = match self.role {
+                TunnelRole::Coordinator => "c2s",
+                TunnelRole::Shard => "s2c",
+            };
+            self.telemetry.count("tunnel_frames", &format!("s{}:{dir}", self.shard_id), 1);
+        }
         self.send_seq += 1;
         let seq = self.send_seq;
         let nonce = tunnel_nonce(self.role.send_tag(), seq);
@@ -276,7 +294,15 @@ fn derive(
         .hkdf(&salt, &ikm, &tunnel_info(shard_id), 32)
         .try_into()
         .expect("hkdf returns requested length");
-    Ok(ShardTunnel { shard_id, role, key, engine, send_seq: 0, recv_floor: 0 })
+    Ok(ShardTunnel {
+        shard_id,
+        role,
+        key,
+        engine,
+        send_seq: 0,
+        recv_floor: 0,
+        telemetry: Telemetry::off(),
+    })
 }
 
 /// A snapshot of the coordinator enclave's tunnel-establishment identity —

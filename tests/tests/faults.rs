@@ -51,9 +51,9 @@ fn run_round(
     }
     let mut tr = RecordingTracer::new(Granularity::Element);
     let report = sys.run_round(&mut tr).expect("the scripted faults must all recover");
-    let stats = sys.shard_recovery_stats().unwrap_or_default();
+    let recovery = report.telemetry.recovery;
     let bits = sys.global_params().iter().map(|v| v.to_bits()).collect();
-    (bits, tr.digest(), report, stats.retries + stats.relaunches)
+    (bits, tr.digest(), report, recovery.retries + recovery.relaunches)
 }
 
 /// The acceptance matrix: every aggregator kind × S ∈ {1, 2, 4, 8}, a

@@ -1,0 +1,124 @@
+//! The telemetry plane's hard bar: it is **side-band**. Arming metrics
+//! must never perturb the computation — round output, enclave signature
+//! and the adversary-visible trace digest stay bitwise identical to the
+//! disarmed run, for every aggregator kind, monolithic and sharded,
+//! fault-free and under the CI chaos script. And the stream itself must
+//! be reproducible: two identical runs project to byte-identical
+//! deterministic records once the wall-clock suffixes are stripped.
+
+use olive_core::aggregation::AggregatorKind;
+use olive_core::olive::RoundReport;
+use olive_integration_tests::small_system;
+use olive_memsim::{FaultPlan, Granularity, RecordingTracer, RecoveryStats, TraceDigest};
+use olive_telemetry::{deterministic_projection, Telemetry};
+
+/// The CI chaos script (`seed:1337x5@6.4`), or no faults.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::parse("seed:1337x5@6.4").expect("the CI spec must stay parseable")
+}
+
+fn all_kinds() -> [AggregatorKind; 6] {
+    [
+        AggregatorKind::NonOblivious,
+        AggregatorKind::Baseline { cacheline_weights: 16 },
+        AggregatorKind::Advanced,
+        AggregatorKind::Grouped { h: 3 },
+        AggregatorKind::PathOram { posmap: olive_oram::PosMapKind::LinearScan },
+        AggregatorKind::DiffOblivious { epsilon: 1.0, delta: 1e-3, seed: 11 },
+    ]
+}
+
+/// One traced round with an explicit telemetry handle. Returns the
+/// global model bits, the trace digest, the report, and — when armed
+/// into a buffer — the emitted JSONL stream.
+fn run_round(
+    kind: AggregatorKind,
+    shards: usize,
+    chaos: bool,
+    telemetry: Telemetry,
+) -> (Vec<u32>, TraceDigest, RoundReport, Option<String>) {
+    let (mut sys, _) = small_system(kind, None, 97);
+    sys.set_threads(1);
+    sys.set_chunk(3);
+    sys.set_shards(shards);
+    if chaos {
+        sys.set_fault_plan(chaos_plan());
+    }
+    sys.set_telemetry(telemetry.clone());
+    let mut tr = RecordingTracer::new(Granularity::Element);
+    let report = sys.run_round(&mut tr).expect("the scripted faults must all recover");
+    let bits = sys.global_params().iter().map(|v| v.to_bits()).collect();
+    (bits, tr.digest(), report, telemetry.buffer_contents())
+}
+
+/// The acceptance matrix: armed vs disarmed telemetry for every
+/// aggregator kind at S ∈ {1, 4}, fault-free and (sharded) under the CI
+/// chaos script — model, signature and trace digest all bitwise, and the
+/// deterministic round summary identical too.
+#[test]
+fn armed_telemetry_never_perturbs_output_signature_or_trace() {
+    for kind in all_kinds() {
+        for (shards, chaos) in [(1usize, false), (4, false), (4, true)] {
+            let ctx = format!("{kind:?} S={shards} chaos={chaos}");
+            let (ref_bits, ref_digest, ref_report, none) =
+                run_round(kind, shards, chaos, Telemetry::off());
+            assert!(none.is_none(), "{ctx}: a disarmed handle must emit nothing");
+            let (bits, digest, report, stream) =
+                run_round(kind, shards, chaos, Telemetry::to_buffer());
+            assert_eq!(bits, ref_bits, "{ctx}: arming telemetry changed the global model");
+            assert_eq!(digest, ref_digest, "{ctx}: arming telemetry changed the trace digest");
+            assert_eq!(
+                report.model_signature, ref_report.model_signature,
+                "{ctx}: arming telemetry changed the signed output"
+            );
+            assert_eq!(
+                report.telemetry, ref_report.telemetry,
+                "{ctx}: the round summary must not depend on the exporter"
+            );
+            let stream = stream.unwrap_or_else(|| panic!("{ctx}: armed buffer sink"));
+            assert!(
+                stream.lines().any(|l| l.contains("\"name\":\"round\"")),
+                "{ctx}: the armed stream must carry the round span"
+            );
+        }
+    }
+}
+
+/// Two identical armed runs emit byte-identical deterministic
+/// projections — span ids, nesting, fault sites, recovery attempts and
+/// all counter totals are pure functions of the computation. Only the
+/// `"wall"` suffix may differ between runs.
+#[test]
+fn deterministic_projection_is_byte_stable_across_runs() {
+    let kind = AggregatorKind::Grouped { h: 3 };
+    let run = || {
+        let (_, _, _, stream) = run_round(kind, 4, true, Telemetry::to_buffer());
+        deterministic_projection(&stream.expect("armed buffer sink"))
+    };
+    let (a, b) = (run(), run());
+    assert!(!a.is_empty() && !a.contains("\"wall\""), "projection must strip wall-clock data");
+    assert_eq!(a, b, "the deterministic projection must be byte-stable");
+    assert!(a.lines().any(|l| l.contains("\"name\":\"fault_fired\"")));
+    assert!(a.lines().any(|l| l.contains("\"name\":\"recovery_attempt\"")));
+}
+
+/// The `RoundReport` summary replaces the old `shard_recovery_stats()`
+/// side channel: unsharded rounds carry an explicit zeroed recovery
+/// summary (not an absent one), sharded chaos rounds a non-zero one, and
+/// the chunk/checkpoint counts always reflect the round that ran.
+#[test]
+fn round_report_telemetry_summary_is_always_populated() {
+    let kind = AggregatorKind::Advanced;
+    let (_, _, mono, _) = run_round(kind, 1, false, Telemetry::off());
+    assert_eq!(mono.telemetry.recovery, RecoveryStats::default(), "S=1 recovery must be zeroed");
+    assert!(mono.telemetry.chunks > 0, "the summary must count folded chunks");
+    assert_eq!(
+        mono.telemetry.ckpt_seals, mono.telemetry.chunks,
+        "default checkpointing seals once per folded chunk"
+    );
+    assert!(mono.telemetry.ckpt_bytes > 0);
+
+    let (_, _, chaotic, _) = run_round(kind, 4, true, Telemetry::off());
+    let recovery = chaotic.telemetry.recovery;
+    assert!(recovery.retries + recovery.relaunches > 0, "the chaos script must exercise recovery");
+}
