@@ -1,10 +1,12 @@
 //! Criterion microbench backing Figure 9: aggregation algorithms across
 //! model sizes (reduced sizes; the `fig09` binary runs paper scale).
 //!
-//! PathORAM aggregation runs at every `d` up to 1 000 by default and at
-//! d = 10 000 when `OLIVE_BENCH_FULL=1` (with the O(d) ORAM construction
-//! amortized out of the timed loop); anything gated out says so instead
-//! of silently vanishing.
+//! PathORAM aggregation runs at d ≤ 1 000 (linear-scan posmap, the
+//! historical entry) and d = 10 000 (recursive posmap — the fast path)
+//! by default, and at d = 100 000 when `OLIVE_BENCH_FULL=1`, with the
+//! O(d) ORAM construction amortized out of the timed loop and an
+//! `oram_round:` machine-readable record per recursive size; anything
+//! gated out says so instead of silently vanishing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use olive_bench::synthetic_updates;
@@ -49,22 +51,60 @@ fn bench_aggregation(c: &mut Criterion) {
                     )
                 })
             });
-        } else if full && d <= 10_000 {
-            // Paper-faithful ORAM cost per aggregation *round*: the ORAM
-            // is a long-lived structure, so its O(d) construction is
+        } else if d <= 10_000 || full {
+            // Paper-faithful ORAM cost per aggregation *round* on the
+            // recursive (deployment-realistic) position map: the ORAM is
+            // a long-lived structure, so its O(d) construction is
             // amortized out of the timed loop (aggregate_oram_into resets
             // slots as it reads them back, so every iteration computes a
-            // fresh aggregate).
+            // fresh aggregate). d = 10 000 runs by default since the
+            // batched kernel landed; d = 100 000 stays behind
+            // OLIVE_BENCH_FULL=1 (it is ~1M ORAM accesses per iteration).
             let cells = concat_cells(&updates);
-            let mut oram = build_aggregation_oram(d, PosMapKind::LinearScan);
+            let mut oram = build_aggregation_oram(d, PosMapKind::Recursive);
             group.bench_with_input(BenchmarkId::new("path_oram", d), &d, |b, &d| {
                 b.iter(|| aggregate_oram_into(&mut oram, &cells, d, n, &mut NullTracer))
             });
+            // One measured round against a fresh ORAM (deterministic
+            // counters — bench iterations above would skew them) emits
+            // the machine-readable `oram_round:` record on both
+            // channels: the telemetry stream and the legacy stdout line.
+            let mut fresh = build_aggregation_oram(d, PosMapKind::Recursive);
+            let start = std::time::Instant::now();
+            let out = aggregate_oram_into(&mut fresh, &cells, d, n, &mut NullTracer);
+            let ns = start.elapsed().as_nanos() as u64;
+            std::hint::black_box(out);
+            let stats = fresh.stats();
+            let kernel = match olive_oram::oram_kernel() {
+                olive_oram::OramKernel::Scalar => "scalar",
+                olive_oram::OramKernel::Batched => "batched",
+            };
+            let resident = fresh.resident_bytes();
+            olive_telemetry::Telemetry::from_env().bench(
+                "oram_round",
+                &[
+                    ("d", (d as u64).into()),
+                    ("k", (k as u64).into()),
+                    ("n", (n as u64).into()),
+                    ("posmap", "recursive".into()),
+                    ("kernel", kernel.into()),
+                    ("accesses", stats.accesses.into()),
+                    ("evicted_blocks", stats.evicted_blocks.into()),
+                    ("max_stash_occupancy", stats.max_stash_occupancy.into()),
+                    ("resident_bytes", resident.into()),
+                ],
+                &[("ns", ns.into())],
+            );
+            println!(
+                "oram_round: {{\"d\":{d},\"k\":{k},\"n\":{n},\"posmap\":\"recursive\",\
+                 \"kernel\":\"{kernel}\",\"accesses\":{},\"evicted_blocks\":{},\
+                 \"max_stash_occupancy\":{},\"resident_bytes\":{resident},\"ns\":{ns}}}",
+                stats.accesses, stats.evicted_blocks, stats.max_stash_occupancy,
+            );
         } else {
             println!(
                 "bench: aggregation_vs_model_size/path_oram/{d} ... skipped \
-                 ({}; set OLIVE_BENCH_FULL=1 to bench PathORAM at d = 10 000)",
-                if full { "full sweep caps PathORAM at d = 10 000" } else { "d > 1 000" }
+                 (set OLIVE_BENCH_FULL=1 to bench PathORAM at d = 100 000)"
             );
         }
     }

@@ -6,9 +6,14 @@ use olive_memsim::NullTracer;
 use olive_oram::{PathOram, PathOramConfig, PosMapKind};
 
 fn bench_oram(c: &mut Criterion) {
+    let full = std::env::var("OLIVE_BENCH_FULL").as_deref() == Ok("1");
     let mut group = c.benchmark_group("path_oram_access");
     group.sample_size(10);
-    for capacity in [1_024usize, 16_384] {
+    // 131 072 (the d = 100k aggregation tree rounded up) joins the sweep
+    // under OLIVE_BENCH_FULL=1; the linear-scan posmap is O(N) per
+    // access there, which is exactly the point of the comparison.
+    let capacities: &[usize] = if full { &[1_024, 16_384, 131_072] } else { &[1_024, 16_384] };
+    for &capacity in capacities {
         for (name, posmap) in [
             ("trusted", PosMapKind::Trusted),
             ("linear_scan", PosMapKind::LinearScan),

@@ -36,6 +36,12 @@ use std::process::ExitCode;
 /// (transport-plane timings are allocator-noisy at the smoke budget),
 /// and the `recovery_overhead:` report is a println side channel — it
 /// never enters the criterion JSON, so it is never gated.
+/// Reviewed for PR 10: the `path_oram_access/*` entries (including the
+/// fast-path recursive ones) and `aggregation_vs_model_size/path_oram/*`
+/// stay informational — even batched, an ORAM access is pointer-chasing
+/// over a tree plus RNG, not arithmetic-bound, and its smoke-budget mean
+/// jitters well past the 30% threshold on shared runners. The speedup
+/// story is pinned by the committed `pr10-bench.json` snapshot instead.
 const STABLE_PREFIXES: &[&str] = &["aes_gcm/", "hmac/", "sha256/", "sort/", "sort_kernel/"];
 
 /// Default allowed regression, percent.

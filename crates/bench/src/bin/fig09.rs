@@ -9,7 +9,10 @@
 //! small d; Advanced stays at seconds even at d = 10⁶.
 //!
 //! Flags: `--quick` caps d at 10⁵; `--full` runs the slow methods at every
-//! size (hours); default caps Baseline at 3·10⁵ and PathORAM at 3·10⁴.
+//! size (hours); default caps Baseline at 3·10⁵ and PathORAM at 10⁵
+//! (raised from 3·10⁴ once the batched eviction kernel and the fused
+//! recursive position map landed — a d = 10⁵ round is now minutes, not
+//! tens of minutes).
 
 use olive_bench::perf::{time_aggregation_prebuilt, PerfMode};
 use olive_bench::synthetic_updates;
@@ -41,7 +44,7 @@ fn main() {
             None
         };
         let (t_adv, _) = time_aggregation_prebuilt(AggregatorKind::Advanced, &updates, d);
-        let t_oram = if mode.full || d <= 30_000 {
+        let t_oram = if mode.full || d <= 100_000 {
             Some(
                 time_aggregation_prebuilt(
                     AggregatorKind::PathOram { posmap: PosMapKind::Recursive },

@@ -66,8 +66,9 @@ pub fn aggregate_oram_into<TR: Tracer>(
     }
     let mut gstar = TrackedBuf::<f32>::zeroed(REGION_G_STAR, d);
     for j in 0..d {
-        // Read-and-clear keeps the ORAM reusable for the next round.
-        let bits = oram.update(j as u32, |_| 0, tr);
+        // Fused read-and-clear: one path walk returns the sum and zeroes
+        // the slot, keeping the ORAM reusable for the next round.
+        let bits = oram.take(j as u32, tr);
         gstar.write(j, f32::from_bits(bits as u32), tr);
     }
     average_in_place(&mut gstar, n, tr);
@@ -82,7 +83,9 @@ pub fn aggregate_oram_into<TR: Tracer>(
 /// seed), so chunk boundaries change neither the output bits nor the
 /// trace.
 pub struct OramStreamer {
-    oram: PathOram<u64>,
+    /// Boxed: `PathOram` carries its access scratch inline, which would
+    /// otherwise dominate the `StreamingAggregator` enum's size.
+    oram: Box<PathOram<u64>>,
     /// Global position in the round's logical `G` buffer (cells).
     next_cell: usize,
     n: usize,
@@ -95,10 +98,16 @@ impl OramStreamer {
 
     /// Fresh streamer over dimension `d`.
     pub fn init(d: usize, posmap: PosMapKind) -> Self {
-        OramStreamer { oram: build_aggregation_oram(d, posmap), next_cell: 0, n: 0, d }
+        OramStreamer { oram: Box::new(build_aggregation_oram(d, posmap)), next_cell: 0, n: 0, d }
     }
 
     /// Folds one chunk of client updates into the ORAM slots.
+    ///
+    /// Contract: every cell index must lie in `0..d` (validated upstream
+    /// when updates are decoded). A violation surfaces as the ORAM's
+    /// structured `OramError` rendered through the panicking accessor —
+    /// the streaming [`Aggregator`](super::streaming::Aggregator) trait
+    /// has no fallible ingest path.
     pub fn ingest<TR: Tracer>(&mut self, chunk: &[olive_fl::SparseGradient], tr: &mut TR) {
         for u in chunk {
             assert_eq!(u.dense_dim, self.d, "update dimension mismatch");
@@ -126,7 +135,9 @@ impl OramStreamer {
         assert!(self.n > 0, "no updates to aggregate");
         let mut gstar = TrackedBuf::<f32>::zeroed(REGION_G_STAR, self.d);
         for j in 0..self.d {
-            let bits = self.oram.update(j as u32, |_| 0, tr);
+            // Fused read-and-clear: one path walk per slot instead of a
+            // read access followed by a zeroing write access.
+            let bits = self.oram.take(j as u32, tr);
             gstar.write(j, f32::from_bits(bits as u32), tr);
         }
         average_in_place(&mut gstar, self.n, tr);
@@ -138,11 +149,18 @@ impl OramStreamer {
         self.n
     }
 
-    /// Persistent enclave bytes: the ORAM tree (2·leaves−1 buckets ×
-    /// Z = 4 slots × 16 B) — the Section 5.5 memory model.
+    /// Persistent enclave bytes: the full ORAM working set — tree, stash,
+    /// position map (recursively), and access scratch — per the Section
+    /// 5.5 memory model. Independent of the number of clients folded in.
     pub fn resident_bytes(&self) -> u64 {
-        let leaves = self.d.next_power_of_two().max(2) as u64;
-        (2 * leaves - 1) * 4 * 16
+        self.oram.resident_bytes()
+    }
+
+    /// The underlying ORAM's usage counters (accesses, stash high-water
+    /// mark, evicted blocks) — the telemetry plane samples these per
+    /// chunk.
+    pub fn oram_stats(&self) -> olive_oram::OramStats {
+        self.oram.stats()
     }
 
     /// Transient bytes finalize allocates: the dense read-back buffer.

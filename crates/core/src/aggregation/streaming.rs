@@ -338,6 +338,17 @@ impl StreamingAggregator {
         }
     }
 
+    /// PathORAM usage counters (accesses, stash high-water mark, evicted
+    /// blocks) when this streamer is the ORAM comparator; `None` for
+    /// every other kind. The round pipeline samples this per chunk to
+    /// feed the `oram_*` telemetry counters.
+    pub fn oram_stats(&self) -> Option<olive_oram::OramStats> {
+        match self {
+            StreamingAggregator::PathOram(s) => Some(s.oram_stats()),
+            _ => None,
+        }
+    }
+
     /// One byte naming the variant, prepended to serialized state so a
     /// checkpoint can never be loaded into the wrong algorithm.
     fn kind_tag(&self) -> u8 {

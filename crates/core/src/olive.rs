@@ -266,6 +266,11 @@ struct IngestState {
     next_chunk: usize,
     chunk_size: usize,
     threads: usize,
+    /// ORAM eviction count already reported to the `oram_evicted_blocks`
+    /// counter (the ORAM reports a running total; telemetry wants
+    /// per-chunk deltas). Zero for non-ORAM kinds and after a restore —
+    /// a restored ORAM restarts its non-serialized eviction counter.
+    oram_evicted_seen: u64,
 }
 
 /// Decoded checkpoint payload (the sealed blob's plaintext).
@@ -627,6 +632,7 @@ impl OliveSystem {
             next_chunk: 0,
             chunk_size: pending.chunk_size,
             threads: pending.threads,
+            oram_evicted_seen: 0,
         };
         self.resume_ingestion(pending, st, kill_after, tr)
     }
@@ -830,8 +836,10 @@ impl OliveSystem {
             staged_bytes = next_bytes;
             staged = next;
             let now_resident = st.agg.resident_bytes();
-            st.ws.free_counted(resident, &self.telemetry, "coordinator");
-            st.ws.alloc_counted(now_resident, &self.telemetry, "coordinator");
+            // The aggregator's persistent state grew (or shrank) in
+            // place: one resize event, so the peak never counts both
+            // generations of the same state.
+            st.ws.resize_counted(resident, now_resident, &self.telemetry, "coordinator");
             self.enclave.epc.free(resident);
             self.enclave.epc.alloc(now_resident);
             if let Some(rt) = rt.as_mut() {
@@ -839,6 +847,19 @@ impl OliveSystem {
                 rt.alloc_split(now_resident);
             }
             resident = now_resident;
+            // ORAM comparator rounds expose the stash high-water mark and
+            // eviction volume on the side-band counters (deterministic
+            // values: both kernels count identically).
+            if let Some(stats) = st.agg.oram_stats() {
+                self.telemetry.observe(
+                    "oram_stash_occupancy",
+                    "max",
+                    stats.max_stash_occupancy as u64,
+                );
+                let evicted_delta = stats.evicted_blocks - st.oram_evicted_seen;
+                st.oram_evicted_seen = stats.evicted_blocks;
+                self.telemetry.count("oram_evicted_blocks", "coordinator", evicted_delta);
+            }
             round_tel.chunks += 1;
 
             // Chunk i is folded: seal the restore point. Sealing touches
@@ -1178,6 +1199,7 @@ impl OliveSystem {
                     next_chunk: ckpt.chunks_done,
                     chunk_size: ckpt.chunk_size,
                     threads: ckpt.threads,
+                    oram_evicted_seen: 0,
                 }
             }
             None => {
@@ -1200,6 +1222,7 @@ impl OliveSystem {
                     next_chunk: 0,
                     chunk_size: pending.chunk_size,
                     threads: pending.threads,
+                    oram_evicted_seen: 0,
                 }
             }
         };
@@ -1363,10 +1386,11 @@ pub fn working_set_bytes(kind: AggregatorKind, n: usize, k: usize, d: usize) -> 
             let group_cells = (hk + d).next_power_of_two() as u64;
             group_cells * cell + 2 * d as u64 * 4
         }
-        AggregatorKind::PathOram { .. } => {
-            // Tree (2·leaves−1 buckets × Z slots × 16 B) + stash.
-            let leaves = d.next_power_of_two().max(2) as u64;
-            (2 * leaves - 1) * 4 * 16 + nk as u64 * cell
+        AggregatorKind::PathOram { posmap } => {
+            // The full ORAM working set — tree, stash, position map
+            // (recursively), access scratch — via the closed-form mirror
+            // of the construction arithmetic, plus the staged cells.
+            olive_oram::predicted_resident_bytes(d.max(1), 20, 16, posmap) + nk as u64 * cell
         }
         AggregatorKind::DiffOblivious { .. } => nk as u64 * cell * 2 + d as u64 * 4,
     }

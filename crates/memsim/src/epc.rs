@@ -145,6 +145,23 @@ impl WorkingSet {
         telemetry.count("epc_free_bytes", budget, bytes);
         self.free(bytes);
     }
+
+    /// [`WorkingSet::resize`] with both sides mirrored onto the
+    /// counters: `epc_free_bytes` gains `old`, `epc_charge_bytes` gains
+    /// `new` — the same two events a `free_counted` + `alloc_counted`
+    /// pair emits, so the telemetry stream is unchanged while the peak
+    /// never counts both generations of the same buffer.
+    pub fn resize_counted(
+        &mut self,
+        old: u64,
+        new: u64,
+        telemetry: &olive_telemetry::Telemetry,
+        budget: &str,
+    ) {
+        telemetry.count("epc_free_bytes", budget, old);
+        telemetry.count("epc_charge_bytes", budget, new);
+        self.resize(old, new);
+    }
 }
 
 /// Latency constants (nanoseconds) for converting hit/miss/fault counts into
@@ -291,6 +308,20 @@ mod tests {
         assert_eq!(ws.peak, 100, "resize must not double-count the old buffer");
         ws.resize(90, 150);
         assert_eq!(ws.peak, 150);
+    }
+
+    #[test]
+    fn resize_counted_emits_free_then_charge_without_double_peak() {
+        let t = olive_telemetry::Telemetry::to_buffer();
+        let mut ws = WorkingSet::default();
+        ws.alloc_counted(100, &t, "coordinator");
+        ws.resize_counted(100, 140, &t, "coordinator");
+        assert_eq!(ws.live, 140);
+        assert_eq!(ws.peak, 140, "resize must not count both generations");
+        t.flush_stats();
+        let out = t.buffer_contents().unwrap();
+        assert!(out.contains("\"epc_charge_bytes\""), "charge counter missing: {out}");
+        assert!(out.contains("\"epc_free_bytes\""), "free counter missing: {out}");
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! * [`scan`] — oblivious linear-scan read/write of a secret index
 //!   (ZeroTrace's trusted-storage emulation, used by the ORAM stash and
 //!   position map);
+//! * [`meta_scan`] — branchless accumulator scans over packed PathORAM
+//!   `(key << 32) | leaf` meta words (the ORAM batched kernel's
+//!   equivalent of the sort kernel's sweeps, with the same runtime
+//!   AVX2/AVX-512 dispatch);
 //! * [`shuffle`] — oblivious random shuffle via random-key sorting (used by
 //!   the differentially-oblivious ablation, Section 5.4).
 //!
@@ -31,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod meta_scan;
 pub mod primitives;
 pub mod scan;
 pub mod shuffle;

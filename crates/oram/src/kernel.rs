@@ -1,0 +1,81 @@
+//! PathORAM access-kernel selection.
+//!
+//! The scalar access path in [`crate::path_oram`] drives every stash
+//! operation through per-slot traced reads and per-slot `o_select` tuple
+//! copies — correct and readable, but the bookkeeping defeats
+//! vectorization and costs `~4·(L+1)·S` tuple-sized select chains per
+//! access. The batched kernel rebuilds the hot path around the same
+//! observations as the sort kernel (`olive-oblivious::sort_kernel`):
+//!
+//! 1. **The trace is a closed-form function of the path.** A PathORAM
+//!    access touches tree buckets along one (public, uniformly random)
+//!    path and sweeps the whole stash a fixed number of times whatever
+//!    the data, so the batched kernel emits the canonical schedule
+//!    (per-bucket reads/writes plus `touch_rw_stripe` block events, one
+//!    per stash sweep) and performs the data movement separately on
+//!    untraced slices. Recording tracers expand each stripe into the
+//!    exact per-slot sequence of the scalar path, so digests agree at
+//!    every granularity — and, because emission is independent of the
+//!    physical execution, at every thread count too.
+//! 2. **Decisions live in the packed meta words.** Every stash decision
+//!    reads only the packed `(key << 32) | leaf` u64, never the value
+//!    payload, so the kernel mirrors the metas into one contiguous
+//!    scratch array and scans *that* with the branchless mask-select
+//!    accumulators of `olive-oblivious::meta_scan` (runtime-dispatched
+//!    AVX2/AVX-512 monomorphizations). Values move at most a handful of
+//!    times per access, by index.
+//! 3. **Eviction depth is computed once per access.** A block with leaf
+//!    `l` can evict into the path-to-`x` bucket at level `d` iff
+//!    `d <= levels − bitlen(l ⊕ x)`; one `lzcnt` sweep yields every
+//!    block's deepest eligible level, replacing the scalar path's
+//!    per-bucket-slot full-stash `path_node` re-derivations.
+//!
+//! `OLIVE_ORAM_KERNEL=scalar` forces every ORAM built afterwards onto
+//! the scalar reference path for differential testing (mirroring
+//! `OLIVE_SORT_KERNEL`); the CI tier-1 job runs the ORAM suites that
+//! way. Tests that need both kernels in one process use
+//! [`crate::PathOram::set_kernel`] instead.
+
+use std::sync::OnceLock;
+
+/// Which implementation of the PathORAM access runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OramKernel {
+    /// The readable per-slot reference path (traced `o_select` sweeps).
+    Scalar,
+    /// The batched meta-scan kernel (default). Bitwise-identical state,
+    /// outputs, and trace digests to [`OramKernel::Scalar`].
+    Batched,
+}
+
+/// Process-wide kernel selection: `OLIVE_ORAM_KERNEL=scalar` pins the
+/// reference path, anything else (or unset) selects the batched kernel.
+/// Read once and cached; both kernels produce bitwise-identical state,
+/// outputs, and trace digests, so the knob only trades speed for
+/// single-stepping readability.
+pub fn oram_kernel() -> OramKernel {
+    static KERNEL: OnceLock<OramKernel> = OnceLock::new();
+    *KERNEL.get_or_init(|| match std::env::var("OLIVE_ORAM_KERNEL").as_deref() {
+        Ok("scalar") => OramKernel::Scalar,
+        Ok("batched") | Err(_) => OramKernel::Batched,
+        Ok(other) => {
+            eprintln!(
+                "OLIVE_ORAM_KERNEL={other:?} is not \"scalar\" or \"batched\"; using batched"
+            );
+            OramKernel::Batched
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_env_default_is_batched() {
+        match std::env::var("OLIVE_ORAM_KERNEL").as_deref() {
+            Ok("scalar") => assert_eq!(oram_kernel(), OramKernel::Scalar),
+            _ => assert_eq!(oram_kernel(), OramKernel::Batched),
+        }
+    }
+}

@@ -18,14 +18,28 @@
 //!   ablation), `LinearScan` (ZeroTrace-faithful O(N) oblivious scan),
 //!   and `Recursive` (position map stored in a smaller ORAM, as real
 //!   ZeroTrace deploys);
-//! * stash-occupancy instrumentation to validate the stash-size ≤ 20
-//!   configuration the paper uses.
+//! * [`kernel`] — the access-kernel split: a batched fast path (canonical
+//!   trace emission + `olive-oblivious::meta_scan` branchless sweeps over
+//!   the packed meta words) that is bitwise state-, output-, and
+//!   trace-digest-identical to the scalar reference, selected per process
+//!   with `OLIVE_ORAM_KERNEL` (mirroring `OLIVE_SORT_KERNEL`);
+//! * stash-occupancy and eviction instrumentation to validate the
+//!   stash-size ≤ 20 configuration the paper uses and feed the telemetry
+//!   counters.
+//!
+//! This crate stays `forbid(unsafe_code)`: the ISA-dispatched scan
+//! monomorphizations live in `olive-oblivious` next to the sort kernel's.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod kernel;
 pub mod path_oram;
 pub mod posmap;
 
-pub use path_oram::{BlockCodec, OramStats, PathOram, PathOramConfig, BUCKET_SIZE, INVALID_KEY};
+pub use kernel::{oram_kernel, OramKernel};
+pub use path_oram::{
+    predicted_resident_bytes, BlockCodec, OramError, OramStats, PathOram, PathOramConfig,
+    BUCKET_SIZE, INVALID_KEY,
+};
 pub use posmap::{PosBlock, PosMapKind, POS_BLOCK_FANOUT};

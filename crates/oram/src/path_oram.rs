@@ -1,11 +1,22 @@
 //! PathORAM with oblivious stash operations (ZeroTrace construction).
+//!
+//! Two access kernels implement the identical abstract machine (see
+//! [`crate::kernel`]): the **scalar** reference path drives every stash
+//! operation through traced per-slot `o_select` sweeps, the **batched**
+//! default emits the canonical trace as block events and runs the
+//! decisions as SIMD-friendly scans over a contiguous mirror of the
+//! packed `(key << 32) | leaf` meta words. State, outputs, and trace
+//! digests are bitwise identical between kernels at every granularity —
+//! the differential suites pin this.
 
-use olive_memsim::{StateError, StateReader, StateWriter, Tracer, TrackedBuf};
+use olive_memsim::{Op, StateError, StateReader, StateWriter, Tracer, TrackedBuf};
+use olive_oblivious::meta_scan;
 use olive_oblivious::primitives::Oblivious;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::posmap::{PosMap, PosMapKind};
+use crate::kernel::{oram_kernel, OramKernel};
+use crate::posmap::{PosMap, PosMapKind, POS_BLOCK_FANOUT};
 
 /// Fixed-width serialization for ORAM block values, so a whole ORAM
 /// (tree, stash, position map, path RNG) can be snapshotted into a
@@ -47,6 +58,41 @@ fn meta_leaf(meta: u64) -> u32 {
     meta as u32
 }
 
+/// Heap index (1-based) of the bucket at `level` on the path to `leaf`
+/// in a tree with `leaves` leaves and `levels + 1` levels.
+#[inline(always)]
+fn path_node_at(leaves: u32, levels: u32, leaf: u32, level: u32) -> u32 {
+    (leaves + leaf) >> (levels - level)
+}
+
+/// Structured access errors. Inside an enclave an aborting panic is the
+/// worst failure mode (it tears down the whole attested round), so the
+/// `try_*` entry points surface caller bugs as values; the infallible
+/// entry points keep the documented panic contract for code that has
+/// already range-checked its keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OramError {
+    /// The logical key is outside `0..capacity`.
+    KeyOutOfRange {
+        /// The offending key.
+        key: u32,
+        /// The ORAM's capacity.
+        capacity: usize,
+    },
+}
+
+impl core::fmt::Display for OramError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OramError::KeyOutOfRange { key, capacity } => {
+                write!(f, "key out of range: {key} >= capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OramError {}
+
 /// ORAM configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct PathOramConfig {
@@ -70,6 +116,38 @@ pub struct OramStats {
     pub accesses: u64,
     /// High-water mark of persistent stash occupancy (post-eviction).
     pub max_stash_occupancy: usize,
+    /// Valid blocks written back into tree buckets by evictions.
+    /// Counted identically by both kernels; **not** serialized (the
+    /// checkpoint blob layout predates it), so restored instances
+    /// restart it at zero.
+    pub evicted_blocks: u64,
+}
+
+/// Reusable per-access scratch — the batched kernel's de-amortization:
+/// nothing is allocated inside `access`. Host-side bookkeeping only:
+/// never serialized, never traced (the canonical trace emission stands
+/// in for the scans that read it).
+struct AccessScratch {
+    /// Contiguous mirror of the stash meta words (kept in sync through
+    /// every stash mutation during an access).
+    meta: Vec<u64>,
+    /// Deepest eligible eviction level per stash slot (−1 = free).
+    depth: Vec<i32>,
+    /// Ascending free-slot list, consumed front to back.
+    free: Vec<u32>,
+    /// Per-bucket eviction picks, plus one sentinel slot.
+    picks: [u32; BUCKET_SIZE + 1],
+}
+
+impl AccessScratch {
+    fn with_slots(slots: usize) -> Self {
+        AccessScratch {
+            meta: vec![0; slots],
+            depth: vec![-1; slots],
+            free: vec![0; slots],
+            picks: [0; BUCKET_SIZE + 1],
+        }
+    }
 }
 
 /// A PathORAM holding `capacity` blocks of type `V`.
@@ -83,12 +161,14 @@ pub struct PathOram<V: Oblivious + Default> {
     tree: TrackedBuf<(u64, V)>,
     /// Oblivious stash: `stash_limit + Z·(L+1)` slots.
     stash: TrackedBuf<(u64, V)>,
-    posmap: PosMap,
+    pub(crate) posmap: PosMap,
     leaves: u32,
     levels: u32,
     config: PathOramConfig,
     rng: SmallRng,
     stats: OramStats,
+    kernel: OramKernel,
+    scratch: AccessScratch,
 }
 
 impl<V: Oblivious + Default> PathOram<V> {
@@ -111,7 +191,19 @@ impl<V: Oblivious + Default> PathOram<V> {
                 leaf_rng.gen_range(0..leaves)
             })
         };
-        PathOram { tree, stash, posmap, leaves, levels, config, rng, stats: OramStats::default() }
+        let scratch = AccessScratch::with_slots(stash.len());
+        PathOram {
+            tree,
+            stash,
+            posmap,
+            leaves,
+            levels,
+            config,
+            rng,
+            stats: OramStats::default(),
+            kernel: oram_kernel(),
+            scratch,
+        }
     }
 
     /// Number of addressable blocks.
@@ -124,15 +216,46 @@ impl<V: Oblivious + Default> PathOram<V> {
         self.stats
     }
 
+    /// The active access kernel.
+    pub fn kernel(&self) -> OramKernel {
+        self.kernel
+    }
+
+    /// Overrides the access kernel for this instance and, recursively,
+    /// its position-map ORAMs (in-process differential tests compare
+    /// kernels without touching the `OLIVE_ORAM_KERNEL` process knob).
+    pub fn set_kernel(&mut self, kernel: OramKernel) {
+        self.kernel = kernel;
+        self.posmap.set_kernel(kernel);
+    }
+
     /// Approximate resident bytes of the tree + stash (for EPC accounting).
     pub fn memory_bytes(&self) -> u64 {
         ((self.tree.len() + self.stash.len()) * core::mem::size_of::<(u64, V)>()) as u64
     }
 
+    /// Bytes of the reusable per-access scratch (meta mirror, depth map,
+    /// free list, eviction picks), including the recursive position
+    /// map's. Allocated once at construction; `access` allocates nothing.
+    pub fn scratch_bytes(&self) -> u64 {
+        let own = (self.scratch.meta.len() * 8
+            + self.scratch.depth.len() * 4
+            + self.scratch.free.len() * 4
+            + core::mem::size_of_val(&self.scratch.picks)) as u64;
+        own + self.posmap.scratch_bytes()
+    }
+
+    /// Total resident bytes — tree, stash, position map (recursively,
+    /// including inner trees, stashes, and scratch), and this ORAM's
+    /// access scratch — the number the EPC working-set model charges.
+    pub fn resident_bytes(&self) -> u64 {
+        self.memory_bytes() + self.posmap.storage_bytes() + self.scratch_bytes()
+    }
+
     /// Heap index (1-based) of the bucket at `level` on the path to `leaf`.
     #[inline]
     fn path_node(&self, leaf: u32, level: u32) -> u32 {
-        (self.leaves + leaf) >> (self.levels - level)
+        path_node_at(self.leaves, self.levels, leaf, level)
     }
 
     /// Oblivious read: returns the block's value (default if never written).
@@ -147,15 +270,88 @@ impl<V: Oblivious + Default> PathOram<V> {
 
     /// Oblivious read-modify-write: applies `f` to the current value and
     /// stores the result; returns the *old* value. `f` must be branch-free
-    /// with respect to secret data (it runs once per stash slot).
+    /// with respect to secret data and pure (the scalar kernel evaluates
+    /// it once per stash slot, the batched kernel once per access).
     pub fn update<TR: Tracer, F: Fn(V) -> V + Copy>(&mut self, key: u32, f: F, tr: &mut TR) -> V {
         self.access(key, f, tr)
     }
 
-    /// The full PathORAM access: remap, read path into stash, scan-update,
-    /// and greedily evict back along the same path.
+    /// Fused read-and-clear — aggregation's drain pattern: one path walk
+    /// returns the value and stores `V::default()` back, instead of the
+    /// read-walk + write-walk a naive drain would pay. The block stays
+    /// resident (zeroed), so the position map and trace shape are
+    /// unchanged — `take` is trace- and state-identical to
+    /// `update(key, |_| V::default())`.
+    pub fn take<TR: Tracer>(&mut self, key: u32, tr: &mut TR) -> V {
+        self.access(key, |_| V::default(), tr)
+    }
+
+    /// [`PathOram::read`] returning a structured error on caller bugs.
+    pub fn try_read<TR: Tracer>(&mut self, key: u32, tr: &mut TR) -> Result<V, OramError> {
+        self.try_access(key, |v| v, tr)
+    }
+
+    /// [`PathOram::write`] returning a structured error on caller bugs.
+    pub fn try_write<TR: Tracer>(
+        &mut self,
+        key: u32,
+        value: V,
+        tr: &mut TR,
+    ) -> Result<(), OramError> {
+        self.try_access(key, move |_| value, tr).map(|_| ())
+    }
+
+    /// [`PathOram::update`] returning a structured error on caller bugs.
+    pub fn try_update<TR: Tracer, F: Fn(V) -> V + Copy>(
+        &mut self,
+        key: u32,
+        f: F,
+        tr: &mut TR,
+    ) -> Result<V, OramError> {
+        self.try_access(key, f, tr)
+    }
+
+    /// [`PathOram::take`] returning a structured error on caller bugs.
+    pub fn try_take<TR: Tracer>(&mut self, key: u32, tr: &mut TR) -> Result<V, OramError> {
+        self.try_access(key, |_| V::default(), tr)
+    }
+
+    /// Kernel dispatch with the documented panic contract ("key out of
+    /// range") for the infallible entry points.
     fn access<TR: Tracer, F: Fn(V) -> V + Copy>(&mut self, key: u32, f: F, tr: &mut TR) -> V {
-        assert!((key as usize) < self.config.capacity, "key out of range");
+        match self.try_access(key, f, tr) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Range-checks `key`, then runs the full PathORAM access — remap,
+    /// read path into stash, scan-update, greedy evict — on the active
+    /// kernel. Both kernels leave bitwise-identical state and emit
+    /// digest-identical traces.
+    fn try_access<TR: Tracer, F: Fn(V) -> V + Copy>(
+        &mut self,
+        key: u32,
+        f: F,
+        tr: &mut TR,
+    ) -> Result<V, OramError> {
+        if key as usize >= self.config.capacity {
+            return Err(OramError::KeyOutOfRange { key, capacity: self.config.capacity });
+        }
+        Ok(match self.kernel {
+            OramKernel::Scalar => self.access_scalar(key, f, tr),
+            OramKernel::Batched => self.access_batched(key, f, tr),
+        })
+    }
+
+    /// The scalar reference access: every decision runs as a traced,
+    /// branch-free `o_select` sweep over the whole stash.
+    fn access_scalar<TR: Tracer, F: Fn(V) -> V + Copy>(
+        &mut self,
+        key: u32,
+        f: F,
+        tr: &mut TR,
+    ) -> V {
         let new_leaf = self.rng.gen_range(0..self.leaves);
         let leaf = self.posmap.get_and_set(key, new_leaf, tr);
         debug_assert!(leaf < self.leaves, "corrupt position map");
@@ -211,11 +407,125 @@ impl<V: Oblivious + Default> PathOram<V> {
                     chosen_found |= take;
                 }
                 self.tree.write(idx, chosen, tr);
+                self.stats.evicted_blocks += chosen_found as u64;
             }
         }
 
         self.stats.accesses += 1;
         let occupancy = self.stash_occupancy();
+        self.stats.max_stash_occupancy = self.stats.max_stash_occupancy.max(occupancy);
+        assert!(
+            occupancy <= self.config.stash_limit,
+            "stash overflow: {occupancy} > limit {} after {} accesses",
+            self.config.stash_limit,
+            self.stats.accesses
+        );
+        old
+    }
+
+    /// The batched access: canonical trace emission (bucket touches +
+    /// whole-stash [`Tracer::touch_rw_stripe`] block events, expanding to
+    /// the scalar kernel's exact per-slot sequence) with the data
+    /// movement on untraced slices, driven by the `meta_scan` kernels
+    /// over the contiguous meta mirror.
+    ///
+    /// State equivalence to the scalar kernel, phase by phase:
+    /// * phase 1 only fills stash slots, so the scalar "first free slot"
+    ///   insert scan consumes exactly the ascending initial free list;
+    /// * phase 2's single `f` application equals the scalar per-slot
+    ///   `o_select` sweep because `f` is pure and keys are unique;
+    /// * phase 3's "first eligible blocks in stash order" per bucket is
+    ///   precisely what the scalar per-slot take-first sweep chooses,
+    ///   with eligibility precomputed as a leaf-prefix depth.
+    fn access_batched<TR: Tracer, F: Fn(V) -> V + Copy>(
+        &mut self,
+        key: u32,
+        f: F,
+        tr: &mut TR,
+    ) -> V {
+        let new_leaf = self.rng.gen_range(0..self.leaves);
+        let leaf = self.posmap.get_and_set(key, new_leaf, tr);
+        debug_assert!(leaf < self.leaves, "corrupt position map");
+        let empty = (pack_meta(INVALID_KEY, 0), V::default());
+        let eb = core::mem::size_of::<(u64, V)>() as u32;
+        let (leaves, levels) = (self.leaves, self.levels);
+        let (tree_region, stash_region) = (self.tree.region(), self.stash.region());
+        let slots = self.stash.len();
+
+        // Split borrows: traced state stays untouched; the kernels see
+        // plain slices (tree/stash data) plus the scratch mirrors.
+        let tree_data = self.tree.as_mut_slice_untraced();
+        let stash_data = self.stash.as_mut_slice_untraced();
+        let scratch = &mut self.scratch;
+        debug_assert_eq!(scratch.meta.len(), slots);
+        for (m, slot) in scratch.meta.iter_mut().zip(stash_data.iter()) {
+            *m = slot.0;
+        }
+        let free_cnt = meta_scan::collect_free(&scratch.meta, INVALID_KEY, &mut scratch.free);
+        let mut next_free = 0usize;
+
+        // Phase 1: move the whole path into the stash, each valid block
+        // into the next ascending free slot.
+        for level in 0..=levels {
+            let node = path_node_at(leaves, levels, leaf, level) as usize;
+            for z in 0..BUCKET_SIZE {
+                let idx = (node - 1) * BUCKET_SIZE + z;
+                tr.touch(tree_region, (idx * eb as usize) as u64, eb, Op::Read);
+                tr.touch(tree_region, (idx * eb as usize) as u64, eb, Op::Write);
+                tr.touch_rw_stripe(stash_region, eb, 0, 1, slots as u64);
+                let slot = tree_data[idx];
+                tree_data[idx] = empty;
+                let valid = meta_key(slot.0) != INVALID_KEY;
+                assert!(!valid || next_free < free_cnt, "stash insert failed: no free slot");
+                let dst = scratch.free[next_free.min(slots - 1)] as usize;
+                stash_data[dst] = <(u64, V)>::o_select(valid, slot, stash_data[dst]);
+                scratch.meta[dst] = stash_data[dst].0;
+                next_free += valid as usize;
+            }
+        }
+
+        // Phase 2: one key scan finds the block (free slots hold exactly
+        // `empty`, so a miss reads `V::default()` from the insert slot);
+        // apply `f`, remap the leaf, and on a first-ever access
+        // materialize the block in the next free slot.
+        tr.touch_rw_stripe(stash_region, eb, 0, 1, slots as u64);
+        tr.touch_rw_stripe(stash_region, eb, 0, 1, slots as u64);
+        let (found, hit) = meta_scan::key_scan(&scratch.meta, key);
+        assert!(found || next_free < free_cnt, "stash insert failed: no free slot");
+        let mask = (found as usize).wrapping_neg();
+        let dst = (hit & mask) | (scratch.free[next_free.min(slots - 1)] as usize & !mask);
+        let old = V::o_select(found, stash_data[dst].1, V::default());
+        stash_data[dst] = (pack_meta(key, new_leaf), f(old));
+        scratch.meta[dst] = pack_meta(key, new_leaf);
+        next_free += !found as usize;
+
+        // Phase 3: greedy eviction, deepest bucket first.
+        meta_scan::eviction_depths(&scratch.meta, INVALID_KEY, leaf, levels, &mut scratch.depth);
+        let mut evicted = 0usize;
+        for level in (0..=levels).rev() {
+            let node = path_node_at(leaves, levels, leaf, level) as usize;
+            let base = (node - 1) * BUCKET_SIZE;
+            let cnt = meta_scan::pick_eligible(&scratch.depth, level as i32, &mut scratch.picks);
+            for z in 0..BUCKET_SIZE {
+                tr.touch_rw_stripe(stash_region, eb, 0, 1, slots as u64);
+                tr.touch(tree_region, ((base + z) * eb as usize) as u64, eb, Op::Write);
+                if z < cnt {
+                    let i = scratch.picks[z] as usize;
+                    tree_data[base + z] = stash_data[i];
+                    stash_data[i] = empty;
+                    scratch.meta[i] = empty.0;
+                    scratch.depth[i] = -1;
+                } else {
+                    tree_data[base + z] = empty;
+                }
+            }
+            evicted += cnt;
+        }
+
+        self.stats.accesses += 1;
+        self.stats.evicted_blocks += evicted as u64;
+        let occupancy = (slots - free_cnt) + next_free - evicted;
+        debug_assert_eq!(occupancy, self.stash_occupancy(), "occupancy bookkeeping drifted");
         self.stats.max_stash_occupancy = self.stats.max_stash_occupancy.max(occupancy);
         assert!(
             occupancy <= self.config.stash_limit,
@@ -252,12 +562,54 @@ impl<V: Oblivious + Default> PathOram<V> {
     }
 }
 
+/// Predicted [`PathOram::resident_bytes`] for a not-yet-built ORAM with
+/// `capacity` blocks of `elem_bytes`-sized `(meta, value)` slots — the
+/// EPC working-set planner sizes ORAM aggregation without constructing
+/// one. Mirrors the construction arithmetic exactly (a unit test pins
+/// the two together).
+pub fn predicted_resident_bytes(
+    capacity: usize,
+    stash_limit: usize,
+    elem_bytes: usize,
+    posmap: PosMapKind,
+) -> u64 {
+    let leaves = capacity.next_power_of_two().max(2);
+    let levels = leaves.trailing_zeros() as usize;
+    let tree_slots = (2 * leaves - 1) * BUCKET_SIZE;
+    let stash_slots = stash_limit + BUCKET_SIZE * (levels + 1);
+    let tree_stash = ((tree_slots + stash_slots) * elem_bytes) as u64;
+    // Scratch: meta (8 B) + depth (4 B) + free (4 B) per slot + picks.
+    let scratch = (stash_slots * 16 + (BUCKET_SIZE + 1) * 4) as u64;
+    let posmap_bytes = match posmap {
+        PosMapKind::Trusted | PosMapKind::LinearScan => 4 * capacity as u64,
+        PosMapKind::Recursive => {
+            let blocks = capacity.div_ceil(POS_BLOCK_FANOUT);
+            if blocks <= 16 {
+                4 * capacity as u64 // built as a linear map below the cutoff
+            } else {
+                let inner =
+                    if blocks <= 256 { PosMapKind::LinearScan } else { PosMapKind::Recursive };
+                predicted_resident_bytes(blocks, 40, 8 + 4 * POS_BLOCK_FANOUT, inner)
+            }
+        }
+    };
+    tree_stash + scratch + posmap_bytes
+}
+
 impl<V: Oblivious + Default + BlockCodec> PathOram<V> {
     /// Serializes the complete ORAM state — tree, stash, position map,
     /// path RNG, and counters — for a sealed checkpoint. Loading the
     /// blob into a freshly built ORAM of the *same configuration*
     /// reproduces the snapshotted instance exactly: every subsequent
     /// access returns the same value and emits the same trace.
+    ///
+    /// The blob layout is **version-stable across the fast-path
+    /// rewrite**: both kernels produce bitwise-identical state, the
+    /// batched kernel's scratch is never serialized, and
+    /// [`OramStats::evicted_blocks`] is deliberately excluded — so a
+    /// round checkpointed by the pre-fast-path seed restores bitwise
+    /// (`checkpoint_blob_layout_is_stable_across_versions` pins this
+    /// against committed v0 fixture blobs).
     pub fn save_state(&self) -> Vec<u8> {
         let mut w = StateWriter::new();
         self.save_into(&mut w);
@@ -318,6 +670,7 @@ impl<V: Oblivious + Default + BlockCodec> PathOram<V> {
         self.rng = SmallRng::from_state(rng_state);
         self.stats.accesses = r.get_u64()?;
         self.stats.max_stash_occupancy = r.get_usize()?;
+        self.stats.evicted_blocks = 0; // not serialized; restart deterministic
         Ok(())
     }
 }
@@ -349,6 +702,9 @@ mod tests {
         let old = o.update(5, |v| v + 5, &mut NullTracer);
         assert_eq!(old, 555, "update returns the pre-image");
         assert_eq!(o.read(5, &mut NullTracer), 560, "update applies f");
+        let taken = o.take(5, &mut NullTracer);
+        assert_eq!(taken, 560, "take returns the pre-image");
+        assert_eq!(o.read(5, &mut NullTracer), 0, "take clears the block");
     }
 
     /// The canonical model test: random ops vs a HashMap, across all
@@ -375,6 +731,60 @@ mod tests {
         }
     }
 
+    /// The tentpole invariant at unit scope: both kernels, driven with
+    /// identical operations, produce bitwise-identical values, traces
+    /// (every granularity), stats, and serialized state — across posmap
+    /// kinds and capacities including 1 and non-powers-of-two. (The
+    /// integration proptest fuzzes the same property.)
+    #[test]
+    fn kernels_agree_bitwise_in_state_trace_and_output() {
+        for posmap in [PosMapKind::Trusted, PosMapKind::LinearScan, PosMapKind::Recursive] {
+            for capacity in [1usize, 5, 64, 300] {
+                let cfg = PathOramConfig { capacity, stash_limit: 40, posmap, region_base: 10 };
+                let mut a = PathOram::<u64>::new(cfg, 99);
+                a.set_kernel(OramKernel::Scalar);
+                let mut b = PathOram::<u64>::new(cfg, 99);
+                b.set_kernel(OramKernel::Batched);
+                for granularity in [Granularity::Element, Granularity::Cacheline] {
+                    let mut tra = RecordingTracer::new(granularity);
+                    let mut trb = RecordingTracer::new(granularity);
+                    let mut rng = SmallRng::seed_from_u64(13);
+                    for step in 0..60 {
+                        let key = rng.gen_range(0..capacity as u32);
+                        let (va, vb) = match step % 3 {
+                            0 => {
+                                let v = rng.gen::<u64>();
+                                a.write(key, v, &mut tra);
+                                b.write(key, v, &mut trb);
+                                continue;
+                            }
+                            1 => (
+                                a.update(key, |v| v ^ 0x5A, &mut tra),
+                                b.update(key, |v| v ^ 0x5A, &mut trb),
+                            ),
+                            _ => (a.take(key, &mut tra), b.take(key, &mut trb)),
+                        };
+                        assert_eq!(va, vb, "{posmap:?} cap {capacity} step {step}");
+                    }
+                    assert_eq!(
+                        tra.digest(),
+                        trb.digest(),
+                        "{posmap:?} cap {capacity} {granularity:?} trace divergence"
+                    );
+                }
+                assert_eq!(a.stats().accesses, b.stats().accesses);
+                assert_eq!(a.stats().max_stash_occupancy, b.stats().max_stash_occupancy);
+                assert_eq!(a.stats().evicted_blocks, b.stats().evicted_blocks);
+                assert!(a.stats().evicted_blocks > 0, "evictions must be counted");
+                assert_eq!(
+                    a.save_state(),
+                    b.save_state(),
+                    "{posmap:?} cap {capacity} serialized state divergence"
+                );
+            }
+        }
+    }
+
     #[test]
     fn stash_stays_bounded_under_load() {
         let mut o = oram(128, PosMapKind::Trusted, 9);
@@ -386,6 +796,24 @@ mod tests {
         // The access() assertion already enforces ≤ 20; record the margin.
         assert!(o.stats().max_stash_occupancy <= 20);
         assert_eq!(o.stats().accesses, 800);
+    }
+
+    /// The aggregation workload (accumulate every cell, then drain every
+    /// cell with `take`) must respect the paper's stash bound — the
+    /// read-and-clear regression the fast path is specialized for.
+    #[test]
+    fn stash_stays_bounded_under_read_and_clear() {
+        let mut o = oram(256, PosMapKind::Recursive, 5);
+        for round in 0..3 {
+            for k in 0..256u32 {
+                o.update(k, move |v| v + 1 + round, &mut NullTracer);
+            }
+            for k in 0..256u32 {
+                assert_eq!(o.take(k, &mut NullTracer), 1 + round, "round {round} cell {k}");
+            }
+        }
+        assert!(o.stats().max_stash_occupancy <= 20);
+        assert!(o.stats().evicted_blocks > 0);
     }
 
     #[test]
@@ -444,6 +872,29 @@ mod tests {
         o.read(8, &mut NullTracer);
     }
 
+    /// The structured-error contract of the `try_*` entry points: caller
+    /// bugs come back as values (an enclave must not abort its attested
+    /// round on one), valid keys behave exactly like the panicking API.
+    #[test]
+    fn try_access_surfaces_structured_error() {
+        let mut o = oram(8, PosMapKind::LinearScan, 1);
+        assert_eq!(
+            o.try_read(8, &mut NullTracer),
+            Err(OramError::KeyOutOfRange { key: 8, capacity: 8 })
+        );
+        assert_eq!(
+            o.try_write(1000, 5, &mut NullTracer),
+            Err(OramError::KeyOutOfRange { key: 1000, capacity: 8 })
+        );
+        let e = o.try_update(8, |v| v, &mut NullTracer).unwrap_err();
+        assert_eq!(e.to_string(), "key out of range: 8 >= capacity 8");
+        assert_eq!(o.try_write(3, 33, &mut NullTracer), Ok(()));
+        assert_eq!(o.try_read(3, &mut NullTracer), Ok(33));
+        assert_eq!(o.try_take(3, &mut NullTracer), Ok(33));
+        assert_eq!(o.try_read(3, &mut NullTracer), Ok(0));
+        assert_eq!(o.stats().accesses, 4, "failed accesses must not touch the ORAM");
+    }
+
     #[test]
     fn recursive_posmap_large() {
         // Large enough to force a genuinely recursive position map
@@ -498,6 +949,40 @@ mod tests {
         }
     }
 
+    /// Cross-version checkpoint compatibility: the committed fixture
+    /// blobs were generated by the pre-fast-path scalar implementation
+    /// (40 deterministic writes, key = 7j mod 300, value = 1000 + 13j).
+    /// They must restore into today's ORAM — under either kernel — and
+    /// read back every written cell, proving the blob layout stayed
+    /// stable across the kernel rewrite.
+    #[test]
+    fn checkpoint_blob_layout_is_stable_across_versions() {
+        let fixtures: [(&[u8], PosMapKind, &str); 3] = [
+            (include_bytes!("../fixtures/state_v0_trusted.bin"), PosMapKind::Trusted, "trusted"),
+            (include_bytes!("../fixtures/state_v0_linear.bin"), PosMapKind::LinearScan, "linear"),
+            (
+                include_bytes!("../fixtures/state_v0_recursive.bin"),
+                PosMapKind::Recursive,
+                "recursive",
+            ),
+        ];
+        for (blob, posmap, name) in fixtures {
+            let cfg = PathOramConfig { capacity: 300, stash_limit: 40, posmap, region_base: 10 };
+            for kernel in [OramKernel::Scalar, OramKernel::Batched] {
+                let mut o = PathOram::<u64>::new(cfg, 1);
+                o.set_kernel(kernel);
+                o.load_state(blob).unwrap_or_else(|e| {
+                    panic!("v0 {name} fixture must restore ({kernel:?}): {e:?}")
+                });
+                assert_eq!(o.stats().accesses, 40, "{name}");
+                for j in 0..40u32 {
+                    let got = o.read((j * 7) % 300, &mut NullTracer);
+                    assert_eq!(got, 1000 + j as u64 * 13, "{name} {kernel:?} write {j}");
+                }
+            }
+        }
+    }
+
     #[test]
     fn state_blob_shape_mismatch_rejected() {
         let a = oram(64, PosMapKind::LinearScan, 1);
@@ -511,6 +996,27 @@ mod tests {
         // Truncation.
         let mut d = oram(64, PosMapKind::LinearScan, 2);
         assert_eq!(d.load_state(&blob[..blob.len() - 1]), Err(olive_memsim::StateError::Truncated));
+    }
+
+    /// The EPC planner's closed-form prediction must equal what a real
+    /// instance reports, across posmap strategies and the recursion
+    /// cutoffs.
+    #[test]
+    fn predicted_resident_bytes_matches_instances() {
+        for (capacity, posmap) in [
+            (1, PosMapKind::LinearScan),
+            (64, PosMapKind::Trusted),
+            (200, PosMapKind::Recursive), // ≤ 16 blocks → linear fallback
+            (300, PosMapKind::Recursive), // linear-scan inner map
+            (5000, PosMapKind::Recursive), // recursive inner map
+        ] {
+            let o = oram(capacity, posmap, 3);
+            assert_eq!(
+                o.resident_bytes(),
+                predicted_resident_bytes(capacity, 20, 16, posmap),
+                "capacity {capacity} {posmap:?}"
+            );
+        }
     }
 
     use rand::rngs::SmallRng;

@@ -197,18 +197,57 @@ impl PosMap {
             PosMap::Recursive(oram) => {
                 let block_key = key / POS_BLOCK_FANOUT as u32;
                 let slot = (key % POS_BLOCK_FANOUT as u32) as usize;
-                let mut block = oram.read(block_key, tr);
+                // One fused read-modify-write walk instead of the seed's
+                // read access + write access pair: the block lives in
+                // registers/enclave-local stack for the duration of the
+                // access (a one-entry deterministic leaf cache), halving
+                // the inner ORAM cost at every recursion level. The trace
+                // is the inner ORAM's canonical single-access trace; the
+                // in-block select below is branch-free and untraced, the
+                // same as the seed's post-read select.
+                let prev = oram.update(
+                    block_key,
+                    move |mut b: PosBlock| {
+                        for j in 0..POS_BLOCK_FANOUT {
+                            b.0[j] = u32::o_select(j == slot, new_leaf, b.0[j]);
+                        }
+                        b
+                    },
+                    tr,
+                );
                 let mut old = 0u32;
-                // Branch-free in-block select/update (the block is in
-                // registers/enclave-local stack at this point).
                 for j in 0..POS_BLOCK_FANOUT {
-                    let hit = j == slot;
-                    old = u32::o_select(hit, block.0[j], old);
-                    block.0[j] = u32::o_select(hit, new_leaf, block.0[j]);
+                    old = u32::o_select(j == slot, prev.0[j], old);
                 }
-                oram.write(block_key, block, tr);
                 old
             }
+        }
+    }
+
+    /// Propagates a kernel override into recursive inner ORAMs (no-op for
+    /// flat maps, whose access path has no kernel split).
+    pub(crate) fn set_kernel(&mut self, kernel: crate::kernel::OramKernel) {
+        if let PosMap::Recursive(oram) = self {
+            oram.set_kernel(kernel);
+        }
+    }
+
+    /// Resident storage bytes of the map itself — flat leaf arrays, or
+    /// the inner ORAM's tree + stash + its own map, recursively.
+    pub(crate) fn storage_bytes(&self) -> u64 {
+        match self {
+            PosMap::Trusted(v) => (v.len() * 4) as u64,
+            PosMap::Linear(buf) => (buf.len() * 4) as u64,
+            PosMap::Recursive(oram) => oram.memory_bytes() + oram.posmap.storage_bytes(),
+        }
+    }
+
+    /// Per-access scratch bytes held by recursive inner ORAMs (flat maps
+    /// scan in place and hold none).
+    pub(crate) fn scratch_bytes(&self) -> u64 {
+        match self {
+            PosMap::Trusted(_) | PosMap::Linear(_) => 0,
+            PosMap::Recursive(oram) => oram.scratch_bytes(),
         }
     }
 }

@@ -587,6 +587,32 @@ mod tests {
         );
     }
 
+    /// The ORAM comparator's per-chunk metrics ride the existing
+    /// counter/histogram schema unchanged — pin the exact lines the
+    /// round pipeline's `oram_evicted_blocks` count and
+    /// `oram_stash_occupancy` observation produce, so the names stay a
+    /// stable contract for stream consumers.
+    #[test]
+    fn oram_counters_use_the_existing_schema() {
+        let t = Telemetry::to_buffer();
+        t.count("oram_evicted_blocks", "coordinator", 96);
+        t.observe("oram_stash_occupancy", "max", 7);
+        t.observe("oram_stash_occupancy", "max", 5);
+        t.flush_stats();
+        let out = t.buffer_contents().unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"record\":\"counter\",\"name\":\"oram_evicted_blocks\",\"key\":\"coordinator\",\
+             \"deterministic\":{\"total\":96}}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"record\":\"histogram\",\"name\":\"oram_stash_occupancy\",\"key\":\"max\",\
+             \"deterministic\":{\"count\":2,\"sum\":12,\"min\":5,\"max\":7}}"
+        );
+    }
+
     #[test]
     fn bench_records_carry_det_and_wall_sections() {
         let t = Telemetry::to_buffer();

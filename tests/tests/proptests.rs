@@ -385,6 +385,48 @@ proptest! {
         }
     }
 
+    /// The PathORAM fast-path invariant, fuzzed: the batched kernel is
+    /// bitwise output-, trace-digest-, and serialized-state-identical to
+    /// the scalar reference for arbitrary op sequences (reads, writes,
+    /// updates, read-and-clear takes) across posmap kind × capacity —
+    /// including capacity 1 and non-powers-of-two.
+    #[test]
+    fn path_oram_kernels_bitwise_identical(
+        ops in vec((0u32..97, 0u8..4, 0u64..1000), 1..40),
+        cap_sel in 0usize..4,
+        posmap_sel in 0usize..3,
+    ) {
+        use olive_oram::{OramKernel, PathOram, PathOramConfig, PosMapKind};
+        let capacity = [1usize, 7, 64, 97][cap_sel];
+        let posmap =
+            [PosMapKind::Trusted, PosMapKind::LinearScan, PosMapKind::Recursive][posmap_sel];
+        let cfg = PathOramConfig { capacity, stash_limit: 40, posmap, region_base: 0 };
+        let mut scalar = PathOram::<u64>::new(cfg, 23);
+        scalar.set_kernel(OramKernel::Scalar);
+        let mut batched = PathOram::<u64>::new(cfg, 23);
+        batched.set_kernel(OramKernel::Batched);
+        let mut tr_s = RecordingTracer::new(Granularity::Element);
+        let mut tr_b = RecordingTracer::new(Granularity::Element);
+        for (key, op, v) in ops {
+            let key = key % capacity as u32;
+            let (a, b) = match op {
+                0 => { scalar.write(key, v, &mut tr_s); batched.write(key, v, &mut tr_b); continue; }
+                1 => (scalar.read(key, &mut tr_s), batched.read(key, &mut tr_b)),
+                2 => (scalar.update(key, move |x| x.wrapping_add(v), &mut tr_s),
+                      batched.update(key, move |x| x.wrapping_add(v), &mut tr_b)),
+                _ => (scalar.take(key, &mut tr_s), batched.take(key, &mut tr_b)),
+            };
+            prop_assert_eq!(a, b, "output divergence at key {}", key);
+        }
+        prop_assert_eq!(tr_s.digest(), tr_b.digest(), "trace digest divergence");
+        prop_assert_eq!(scalar.save_state(), batched.save_state(), "state divergence");
+        prop_assert_eq!(
+            scalar.stats().max_stash_occupancy,
+            batched.stats().max_stash_occupancy
+        );
+        prop_assert_eq!(scalar.stats().evicted_blocks, batched.stats().evicted_blocks);
+    }
+
     /// AES-GCM round-trips arbitrary payloads and rejects any bit flip.
     #[test]
     fn gcm_roundtrip_and_tamper(payload in vec(any::<u8>(), 0..256), flip in 0usize..256) {

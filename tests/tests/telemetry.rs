@@ -102,6 +102,32 @@ fn deterministic_projection_is_byte_stable_across_runs() {
     assert!(a.lines().any(|l| l.contains("\"name\":\"recovery_attempt\"")));
 }
 
+/// ORAM comparator rounds surface the stash high-water mark and the
+/// eviction volume on the stream's existing counter/histogram schema —
+/// and only ORAM rounds do (the names are a stable contract; the pinned
+/// Grouped metrics-snapshot golden is untouched by construction).
+#[test]
+fn oram_rounds_emit_stash_and_eviction_counters() {
+    let oram_kind = AggregatorKind::PathOram { posmap: olive_oram::PosMapKind::LinearScan };
+    let (_, _, _, stream) = run_round(oram_kind, 1, false, Telemetry::to_buffer());
+    let stream = stream.expect("armed buffer sink");
+    assert!(
+        stream.lines().any(|l| l.contains("\"name\":\"oram_evicted_blocks\"")),
+        "ORAM round must count evicted blocks"
+    );
+    assert!(
+        stream.lines().any(|l| l.contains("\"name\":\"oram_stash_occupancy\"")),
+        "ORAM round must observe stash occupancy"
+    );
+    let (_, _, _, stream) =
+        run_round(AggregatorKind::Grouped { h: 3 }, 1, false, Telemetry::to_buffer());
+    let stream = stream.expect("armed buffer sink");
+    assert!(
+        !stream.contains("oram_"),
+        "non-ORAM rounds must not grow ORAM counters (the pinned golden depends on it)"
+    );
+}
+
 /// The `RoundReport` summary replaces the old `shard_recovery_stats()`
 /// side channel: unsharded rounds carry an explicit zeroed recovery
 /// summary (not an absent one), sharded chaos rounds a non-zero one, and
